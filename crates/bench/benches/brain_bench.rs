@@ -1,0 +1,79 @@
+//! Control-plane micro-benchmarks.
+//!
+//! Validates the paper's §4.4 claim that "the path lookup takes only a few
+//! milliseconds" (ours is sub-microsecond for the hash lookups plus the
+//! constraint filter), and measures the Global Routing recompute that runs
+//! every 10 minutes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use livenet_brain::{yen_ksp, link_weight, WeightParams};
+use livenet_brain::{BrainConfig, GlobalRouting, RoutingConfig, StreamingBrain};
+use livenet_topology::{GeoConfig, GeoTopology};
+use livenet_types::{NodeId, SimDuration, SimTime, StreamId};
+
+fn bench_path_lookup(c: &mut Criterion) {
+    let geo = GeoTopology::generate(&GeoConfig::paper_scale(1));
+    let nodes: Vec<NodeId> = geo.topology.routable_node_ids().collect();
+    let mut brain = StreamingBrain::new(geo.topology, BrainConfig::default());
+    for (i, &n) in nodes.iter().enumerate() {
+        brain.register_stream(StreamId::new(i as u64), n);
+    }
+    let mut i = 0usize;
+    c.bench_function("brain/path_request (PIB+SIB lookup; paper: 'a few ms')", |b| {
+        b.iter(|| {
+            let stream = StreamId::new((i % nodes.len()) as u64);
+            let consumer = nodes[(i * 7 + 3) % nodes.len()];
+            i += 1;
+            brain
+                .path_request(stream, consumer, SimTime::ZERO)
+                .expect("path")
+        })
+    });
+}
+
+fn bench_global_routing(c: &mut Criterion) {
+    let geo = GeoTopology::generate(&GeoConfig::paper_scale(2));
+    let routing = GlobalRouting::new(RoutingConfig::default());
+    c.bench_function("brain/compute_all 63-node mesh (the 10-minute job)", |b| {
+        b.iter(|| routing.compute_all(&geo.topology, SimTime::ZERO))
+    });
+
+    let graph = routing.build_graph(&geo.topology);
+    c.bench_function("brain/yen_ksp single pair (k=3, hops<=3)", |b| {
+        b.iter(|| yen_ksp(&graph, 0, graph.len() - 1, 3, 3))
+    });
+}
+
+fn bench_weight(c: &mut Criterion) {
+    c.bench_function("brain/link_weight (Eq. 2-3)", |b| {
+        b.iter(|| {
+            link_weight(
+                SimDuration::from_millis(40),
+                0.001,
+                0.55,
+                WeightParams::default(),
+            )
+        })
+    });
+}
+
+fn bench_overload_invalidation(c: &mut Criterion) {
+    let geo = GeoTopology::generate(&GeoConfig::paper_scale(3));
+    let nodes: Vec<NodeId> = geo.topology.routable_node_ids().collect();
+    let brain = StreamingBrain::new(geo.topology.clone(), BrainConfig::default());
+    let victim = nodes[5];
+    c.bench_function("brain/PIB invalidate_node (overload alarm)", |b| {
+        b.iter_batched(
+            || brain.decision().pib.clone(),
+            |mut pib| pib.invalidate_node(victim),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_path_lookup, bench_global_routing, bench_weight, bench_overload_invalidation
+}
+criterion_main!(benches);

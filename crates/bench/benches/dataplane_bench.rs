@@ -1,0 +1,198 @@
+//! Data-plane micro-benchmarks: the per-packet hot path.
+//!
+//! The fast path's whole point is minimal per-packet work (§5.1); these
+//! benchmarks quantify it — wire codecs, FIB lookup + fan-out, pacer,
+//! cache insertion, and the full `OverlayNode::on_datagram` hot path.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use livenet_cc::{DelayBasedEstimator, PacedPacket, Pacer, PacerConfig, SendPriority};
+use livenet_media::FrameKind;
+use livenet_node::{NodeConfig, OverlayMsg, OverlayNode, StreamCache, StreamFib, Subscriber};
+use livenet_packet::rtp::ssrc_for_stream;
+use livenet_packet::{MediaKind, Packetizer, RtpPacket};
+use livenet_types::{Bandwidth, ClientId, NodeId, SeqNo, SimDuration, SimTime, StreamId};
+
+const STREAM: StreamId = StreamId(7);
+
+fn sample_packets(n: usize) -> Vec<RtpPacket> {
+    let mut p = Packetizer::new(ssrc_for_stream(STREAM), SeqNo::ZERO);
+    let mut out = Vec::new();
+    let mut ts = 0u32;
+    while out.len() < n {
+        let kind = if ts % 18000 == 0 { FrameKind::I } else { FrameKind::P };
+        let size = if kind == FrameKind::I { 8000 } else { 1000 };
+        out.extend(p.packetize_with_meta(
+            MediaKind::Video,
+            ts,
+            &Bytes::from(vec![0u8; size]),
+            None,
+            kind.to_nibble(),
+        ));
+        ts += 6000;
+    }
+    out.truncate(n);
+    out
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let pkt = sample_packets(1)[0].clone();
+    let encoded = pkt.encode();
+    let mut g = c.benchmark_group("codec");
+    g.throughput(Throughput::Bytes(encoded.len() as u64));
+    g.bench_function("rtp_encode", |b| b.iter(|| pkt.encode()));
+    g.bench_function("rtp_decode", |b| {
+        b.iter(|| RtpPacket::decode(encoded.clone()).expect("valid"))
+    });
+    let msg = OverlayMsg::Rtp {
+        stream: STREAM,
+        sent_at: SimTime::from_millis(5),
+        packet: encoded.clone(),
+        retransmit: false,
+    };
+    let msg_bytes = msg.encode();
+    g.bench_function("overlay_msg_roundtrip", |b| {
+        b.iter(|| OverlayMsg::decode(msg.encode()).expect("valid"))
+    });
+    let _ = msg_bytes;
+    g.finish();
+}
+
+fn bench_fib(c: &mut Criterion) {
+    let mut fib = StreamFib::new();
+    for s in 0..1000u64 {
+        for n in 0..8u64 {
+            fib.subscribe(StreamId::new(s), Subscriber::Node(NodeId::new(n)));
+        }
+    }
+    c.bench_function("fib/lookup+fanout (1000 streams, 8 subscribers)", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 1000;
+            fib.subscribers(StreamId::new(i)).count()
+        })
+    });
+}
+
+fn bench_pacer(c: &mut Criterion) {
+    c.bench_function("pacer/enqueue+poll cycle", |b| {
+        b.iter_batched(
+            || Pacer::<u32>::new(PacerConfig::default(), Bandwidth::from_mbps(100)),
+            |mut pacer| {
+                for i in 0..64 {
+                    pacer.enqueue(PacedPacket {
+                        priority: SendPriority::Video,
+                        bytes: 1200,
+                        is_iframe: i % 16 == 0,
+                        payload: i,
+                    });
+                }
+                let mut t = SimTime::ZERO;
+                let mut sent = 0;
+                while sent < 64 {
+                    sent += pacer.poll(t).len();
+                    t = t + SimDuration::from_millis(1);
+                }
+                sent
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let packets = sample_packets(512);
+    c.bench_function("cache/insert 512 + startup_burst", |b| {
+        b.iter_batched(
+            || StreamCache::new(2048),
+            |mut cache| {
+                for p in &packets {
+                    cache.insert(p.clone());
+                }
+                cache.startup_burst().len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_gcc(c: &mut Criterion) {
+    c.bench_function("gcc/delay_estimator 1000 packets", |b| {
+        b.iter_batched(
+            || {
+                DelayBasedEstimator::new(
+                    Bandwidth::from_mbps(2),
+                    Bandwidth::from_kbps(100),
+                    Bandwidth::from_mbps(50),
+                )
+            },
+            |mut est| {
+                for i in 0..1000u64 {
+                    let dep = SimTime::from_millis(i);
+                    est.on_packet(dep, dep + SimDuration::from_millis(20), 1200);
+                }
+                est.estimate()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_node_hot_path(c: &mut Criterion) {
+    // A relay node with 4 downstream subscribers: the full fast+slow path
+    // per arriving RTP datagram.
+    let build = || {
+        let mut node = OverlayNode::new(NodeConfig::new(NodeId::new(2)));
+        // Producing the stream makes downstream Subscribes stick (cache hit).
+        node.register_producer(STREAM, None);
+        for i in 0..2u64 {
+            node.set_neighbor_rtt(NodeId::new(10 + i), SimDuration::from_millis(20));
+            // Downstream node subscribers via the wire protocol.
+            let sub = OverlayMsg::Subscribe {
+                stream: STREAM,
+                remainder: vec![],
+            };
+            let acts = node.on_datagram(SimTime::ZERO, NodeId::new(10 + i), sub.encode());
+            drop(acts);
+        }
+        node
+    };
+    let packets: Vec<Bytes> = sample_packets(256)
+        .into_iter()
+        .map(|p| {
+            OverlayMsg::Rtp {
+                stream: STREAM,
+                sent_at: SimTime::ZERO,
+                packet: p.encode(),
+                retransmit: false,
+            }
+            .encode()
+        })
+        .collect();
+    let mut g = c.benchmark_group("node");
+    g.throughput(Throughput::Elements(packets.len() as u64));
+    g.bench_function("on_datagram fast+slow path, 256 pkts, fanout 2", |b| {
+        b.iter_batched(
+            build,
+            |mut node| {
+                let mut t = SimTime::from_millis(1);
+                for p in &packets {
+                    let _ = node.on_datagram(t, NodeId::new(1), p.clone());
+                    t = t + SimDuration::from_micros(500);
+                }
+                node.stats.forwarded
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+    // Quiet the unused-import warning for ClientId in some cfgs.
+    let _ = ClientId::new(0);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_codecs, bench_fib, bench_pacer, bench_cache, bench_gcc, bench_node_hot_path
+}
+criterion_main!(benches);

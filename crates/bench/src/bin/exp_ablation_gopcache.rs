@@ -1,0 +1,57 @@
+//! Ablation — the GoP cache's fast-startup effect (§5.1, Fig. 9's
+//! mechanism).
+//!
+//! A viewer joins a long-running stream mid-GoP. With GoP caching, the
+//! consumer bursts the most recent complete GoP and playback starts in a
+//! few hundred milliseconds; without it, the viewer waits for the next
+//! keyframe — on average half a GoP (1 s for 2 s GoPs), blowing the 1 s
+//! fast-startup budget.
+
+use livenet_bench::print_table;
+use livenet_sim::packetsim::{PacketSim, PacketSimConfig, ViewerSpec};
+use livenet_types::{Bandwidth, SimTime};
+
+fn startup_ms(burst: bool, join_offset_ms: u64, seed: u64) -> Option<f64> {
+    let mut cfg = PacketSimConfig::three_node_chain(0.0, seed);
+    cfg.startup_burst = burst;
+    // The late viewer joins mid-GoP (GoP = 2 s at 15 fps).
+    cfg.viewers.push(ViewerSpec {
+        node_index: 2,
+        join_at: SimTime::from_millis(4000 + join_offset_ms),
+        downlink: Bandwidth::from_mbps(50),
+    });
+    let report = PacketSim::new(cfg).run();
+    report.viewers[1].1.startup.map(|d| d.as_millis_f64())
+}
+
+fn main() {
+    println!("==================================================================");
+    println!("LiveNet reproduction — ablation: GoP-cache startup burst (§5.1)");
+    println!("==================================================================");
+    let mut rows = Vec::new();
+    for burst in [true, false] {
+        let mut startups = Vec::new();
+        for (i, off) in [100u64, 500, 900, 1300, 1700].iter().enumerate() {
+            if let Some(ms) = startup_ms(burst, *off, 10 + i as u64) {
+                startups.push(ms);
+            }
+        }
+        let mean = startups.iter().sum::<f64>() / startups.len().max(1) as f64;
+        let max = startups.iter().cloned().fold(0.0f64, f64::max);
+        let fast = startups.iter().filter(|&&s| s < 1000.0).count();
+        rows.push(vec![
+            if burst { "GoP cache burst (LiveNet)".into() } else { "no burst (wait for next I)".to_string() },
+            format!("{mean:.0} ms"),
+            format!("{max:.0} ms"),
+            format!("{fast}/{}", startups.len()),
+        ]);
+    }
+    print_table(
+        &["variant", "mean startup", "worst startup", "fast (<1s)"],
+        &rows,
+    );
+    println!();
+    println!("Paper connection: the GoP cache is why Fig. 9's fast-startup ratio");
+    println!("stays ≈95% regardless of streaming delay, and why 95% of views");
+    println!("start within 1 s (Table 1) despite 2 s GoPs.");
+}

@@ -1,0 +1,46 @@
+//! Ablation — the I-frame pacing gain (§5.2 "Priority-Aware Data Sending").
+//!
+//! The paper sends I frames with a pacing gain of 1.5 "to quickly empty
+//! the sending queue to avoid queuing delays". This ablation measures
+//! capture→render frame delay percentiles with gain 1.0 vs 1.5 on a
+//! bandwidth-constrained chain, where the big I frames actually queue.
+
+use livenet_bench::print_table;
+use livenet_sim::packetsim::{ChainLink, PacketSim, PacketSimConfig};
+use livenet_types::{Bandwidth, Ecdf, SimTime};
+
+fn run_with_gain(gain: f64) -> (f64, f64, f64) {
+    let mut cfg = PacketSimConfig::three_node_chain(0.0, 7);
+    cfg.iframe_gain = gain;
+    // Make the PACER the bottleneck (the knob under test): generous links,
+    // pacing rate ~1.75× the stream bitrate, so I-frame bursts queue in
+    // the pacer and the gain controls how fast they drain.
+    cfg.pacer_rate = Some(Bandwidth::from_kbps(3_500));
+    cfg.links = vec![ChainLink::healthy(10), ChainLink::healthy(10)];
+    cfg.viewers[0].downlink = Bandwidth::from_mbps(50);
+    cfg.viewers[0].join_at = SimTime::from_millis(100);
+    let report = PacketSim::new(cfg).run();
+    let mut e = Ecdf::new();
+    e.extend(report.frame_delays_ms.iter().copied());
+    (e.quantile(0.5), e.quantile(0.9), e.quantile(0.99))
+}
+
+fn main() {
+    println!("==================================================================");
+    println!("LiveNet reproduction — ablation: I-frame pacing gain (§5.2)");
+    println!("==================================================================");
+    let mut rows = Vec::new();
+    for gain in [1.0, 1.25, 1.5, 2.0] {
+        let (p50, p90, p99) = run_with_gain(gain);
+        rows.push(vec![
+            format!("{gain:.2}"),
+            format!("{p50:.0} ms"),
+            format!("{p90:.0} ms"),
+            format!("{p99:.0} ms"),
+        ]);
+    }
+    print_table(&["pacing gain", "p50 frame delay", "p90", "p99"], &rows);
+    println!();
+    println!("Expected shape: higher gain drains I-frame bursts faster, cutting");
+    println!("the tail (p90/p99) of frame delay on constrained links.");
+}

@@ -1,0 +1,74 @@
+//! §3/§5 validation — the fast-slow path transmission architecture on the
+//! paper's A→B→C example, at packet level.
+//!
+//! Demonstrates (and quantifies) the design claim: when A→B loses packets,
+//! B's slow path NACKs A and recovers them; the fast path keeps forwarding
+//! around the hole; when C detects the same loss, B has usually already
+//! recovered the packet, so C's recovery takes only one B↔C RTT. With the
+//! slow path disabled (ablation), lost packets are never recovered and
+//! viewers stall or skip frames.
+
+use livenet_bench::print_table;
+use livenet_sim::packetsim::{PacketSim, PacketSimConfig};
+
+fn main() {
+    println!("==================================================================");
+    println!("LiveNet reproduction — fast/slow path recovery (A→B→C, §3 & §5)");
+    println!("==================================================================");
+
+    let mut rows = Vec::new();
+    for (loss_pct, bursty) in [
+        (0.0, false),
+        (0.5, false),
+        (1.0, false),
+        (2.0, false),
+        (5.0, false),
+        (2.0, true), // Gilbert–Elliott bursts, same mean
+    ] {
+        for recovery in [true, false] {
+            let mut cfg = PacketSimConfig::three_node_chain(loss_pct / 100.0, 42);
+            if bursty {
+                cfg.links[0] = livenet_sim::packetsim::ChainLink::healthy(10)
+                    .with_bursty_loss(loss_pct / 100.0);
+            }
+            if !recovery {
+                cfg.nack_retry_limit = 0;
+            }
+            let report = PacketSim::new(cfg).run();
+            let (_, qoe) = report.viewers[0];
+            let mean_recovery = if report.recovery_latencies_ms.is_empty() {
+                f64::NAN
+            } else {
+                report.recovery_latencies_ms.iter().sum::<f64>()
+                    / report.recovery_latencies_ms.len() as f64
+            };
+            rows.push(vec![
+                format!("{loss_pct:.1}%{}", if bursty { " bursty" } else { "" }),
+                if recovery { "fast+slow".into() } else { "fast only".into() },
+                format!("{}", qoe.frames_rendered),
+                format!("{}", qoe.stalls),
+                format!("{}", report.node_stats[0].rtx_served),
+                if mean_recovery.is_nan() {
+                    "-".into()
+                } else {
+                    format!("{mean_recovery:.0} ms")
+                },
+            ]);
+        }
+    }
+    print_table(
+        &[
+            "A→B loss",
+            "pipeline",
+            "frames rendered",
+            "stalls",
+            "RTX served by A",
+            "mean recovery",
+        ],
+        &rows,
+    );
+    println!();
+    println!("Expected shape: with the slow path, frames rendered stays near the");
+    println!("lossless count and recovery completes in ~(scan/2 + RTT) ≈ 45 ms;");
+    println!("without it, rendered frames fall and stalls appear as loss grows.");
+}

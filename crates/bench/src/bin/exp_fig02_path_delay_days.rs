@@ -1,0 +1,17 @@
+//! Figure 2: CDN path delay per day — thin wrapper over [`livenet_bench::render::fig02`].
+//!
+//! Runs the canonical fleet configuration (tunable via `--days`,
+//! `--scale`, `--seed`) and prints the table/figure with the paper's
+//! values alongside. To print EVERY figure from one run, use `exp_all`.
+
+use livenet_bench::{banner, cli_config, render, run};
+
+fn main() {
+    #[allow(unused_mut)]
+    let mut cfg = cli_config();
+    cfg.workload.days = cfg.workload.days.min(7);
+    cfg.workload.festival_days.retain(|d| *d < cfg.workload.days);
+    let report = run(cfg);
+    banner("Figure 2: CDN path delay per day", "§2.3, Fig. 2", &report);
+    render::fig02(&report);
+}

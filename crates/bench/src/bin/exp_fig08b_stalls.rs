@@ -1,0 +1,15 @@
+//! Figure 8(b): stall-count distribution — thin wrapper over [`livenet_bench::render::fig08b`].
+//!
+//! Runs the canonical fleet configuration (tunable via `--days`,
+//! `--scale`, `--seed`) and prints the table/figure with the paper's
+//! values alongside. To print EVERY figure from one run, use `exp_all`.
+
+use livenet_bench::{banner, cli_config, render, run};
+
+fn main() {
+    #[allow(unused_mut)]
+    let mut cfg = cli_config();
+    let report = run(cfg);
+    banner("Figure 8(b): stall-count distribution", "§6.3, Fig. 8(b)", &report);
+    render::fig08b(&report);
+}

@@ -1,0 +1,15 @@
+//! Figure 10(a): Brain path-request response time — thin wrapper over [`livenet_bench::render::fig10a`].
+//!
+//! Runs the canonical fleet configuration (tunable via `--days`,
+//! `--scale`, `--seed`) and prints the table/figure with the paper's
+//! values alongside. To print EVERY figure from one run, use `exp_all`.
+
+use livenet_bench::{banner, cli_config, render, run};
+
+fn main() {
+    #[allow(unused_mut)]
+    let mut cfg = cli_config();
+    let report = run(cfg);
+    banner("Figure 10(a): Brain path-request response time", "§6.4, Fig. 10(a)", &report);
+    render::fig10a(&report);
+}

@@ -1,0 +1,15 @@
+//! Figure 12: intra vs inter-national delay — thin wrapper over [`livenet_bench::render::fig12`].
+//!
+//! Runs the canonical fleet configuration (tunable via `--days`,
+//! `--scale`, `--seed`) and prints the table/figure with the paper's
+//! values alongside. To print EVERY figure from one run, use `exp_all`.
+
+use livenet_bench::{banner, cli_config, render, run};
+
+fn main() {
+    #[allow(unused_mut)]
+    let mut cfg = cli_config();
+    let report = run(cfg);
+    banner("Figure 12: intra vs inter-national delay", "§6.4, Fig. 12", &report);
+    render::fig12(&report);
+}

@@ -1,0 +1,15 @@
+//! Table 2: CDN path length distribution — thin wrapper over [`livenet_bench::render::table2`].
+//!
+//! Runs the canonical fleet configuration (tunable via `--days`,
+//! `--scale`, `--seed`) and prints the table/figure with the paper's
+//! values alongside. To print EVERY figure from one run, use `exp_all`.
+
+use livenet_bench::{banner, cli_config, render, run};
+
+fn main() {
+    #[allow(unused_mut)]
+    let mut cfg = cli_config();
+    let report = run(cfg);
+    banner("Table 2: CDN path length distribution", "§6.4, Table 2", &report);
+    render::table2(&report);
+}

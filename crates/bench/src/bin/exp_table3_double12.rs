@@ -1,0 +1,15 @@
+//! Table 3: Double-12 festival — thin wrapper over [`livenet_bench::render::table3`].
+//!
+//! Runs the canonical fleet configuration (tunable via `--days`,
+//! `--scale`, `--seed`) and prints the table/figure with the paper's
+//! values alongside. To print EVERY figure from one run, use `exp_all`.
+
+use livenet_bench::{banner, cli_config, render, run};
+
+fn main() {
+    #[allow(unused_mut)]
+    let mut cfg = cli_config();
+    let report = run(cfg);
+    banner("Table 3: Double-12 festival", "§6.5, Table 3", &report);
+    render::table3(&report);
+}

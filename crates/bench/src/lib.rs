@@ -1,0 +1,177 @@
+//! Shared experiment plumbing: canonical configurations, the cached
+//! 20-day fleet run, and table/figure formatting helpers.
+//!
+//! Every `exp_*` binary regenerates one table or figure of the paper
+//! (DESIGN.md §3 maps them). Binaries accept an optional `--scale <f>`
+//! argument to shrink the workload for quick runs; the default reproduces
+//! the full 20-day evaluation in a few minutes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod render;
+
+use livenet_sim::{FleetConfig, FleetReport, FleetSim, SessionRecord};
+use livenet_types::Ecdf;
+
+/// The canonical experiment seed.
+pub const SEED: u64 = 20221122;
+
+/// Build the canonical paper-scale fleet configuration.
+///
+/// 20 days, Double-12 festival on days 10–11, 60 nodes / 12 countries
+/// (the paper's 600+ nodes / 70+ countries scaled ~10×; DESIGN.md §1).
+pub fn paper_config(scale: f64) -> FleetConfig {
+    let mut cfg = FleetConfig::default();
+    cfg.geo.seed = SEED;
+    cfg.workload.seed = SEED;
+    cfg.workload.peak_arrivals_per_sec *= scale;
+    cfg
+}
+
+/// Parse `--scale <f>` and `--days <n>` from argv.
+pub fn cli_config() -> FleetConfig {
+    let args: Vec<String> = std::env::args().collect();
+    let mut cfg = paper_config(1.0);
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse::<f64>().ok()) {
+                    cfg.workload.peak_arrivals_per_sec *= v;
+                    i += 1;
+                }
+            }
+            "--days" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse::<u32>().ok()) {
+                    cfg.workload.days = v;
+                    i += 1;
+                }
+            }
+            "--seed" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
+                    cfg.geo.seed = v;
+                    cfg.workload.seed = v;
+                    i += 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    cfg
+}
+
+/// Run the fleet simulation for a config.
+pub fn run(cfg: FleetConfig) -> FleetReport {
+    FleetSim::new(cfg).run()
+}
+
+/// Print a header shared by all experiment binaries.
+pub fn banner(exp: &str, paper_ref: &str, report: &FleetReport) {
+    println!("==================================================================");
+    println!("LiveNet reproduction — {exp}");
+    println!("Paper reference: {paper_ref}");
+    println!(
+        "Sessions: {} (per system) over {} days",
+        report.livenet.len(),
+        report.daily_peak_throughput.len()
+    );
+    println!("==================================================================");
+}
+
+/// Median of a session metric.
+pub fn median(sessions: &[SessionRecord], f: impl Fn(&SessionRecord) -> f64) -> f64 {
+    let mut e = Ecdf::new();
+    for s in sessions {
+        e.push(f(s));
+    }
+    e.median()
+}
+
+/// Ratio of sessions satisfying a predicate, in percent.
+pub fn ratio_pct(sessions: &[SessionRecord], f: impl Fn(&SessionRecord) -> bool) -> f64 {
+    if sessions.is_empty() {
+        return f64::NAN;
+    }
+    100.0 * sessions.iter().filter(|s| f(s)).count() as f64 / sessions.len() as f64
+}
+
+/// Render a simple aligned table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|s| s.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// An ASCII sparkline-style series printer for figure reproductions.
+pub fn print_series(label: &str, xs: &[String], ys: &[f64], unit: &str) {
+    println!("{label} ({unit}):");
+    for (x, y) in xs.iter().zip(ys) {
+        if y.is_nan() {
+            println!("  {x:>8}  -");
+        } else {
+            println!("  {x:>8}  {y:.3}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use livenet_types::SimTime;
+
+    fn rec(cdn: f32, fast: bool) -> SessionRecord {
+        SessionRecord {
+            start: SimTime::ZERO,
+            day: 0,
+            hour: 0,
+            path_len: 2,
+            international: false,
+            cdn_delay_ms: cdn,
+            streaming_delay_ms: 900.0,
+            first_packet_ms: 50.0,
+            startup_ms: if fast { 500.0 } else { 1500.0 },
+            stalls: 0,
+            local_hit: false,
+            last_resort: false,
+            brain_response_ms: None,
+        }
+    }
+
+    #[test]
+    fn median_and_ratio_helpers() {
+        let sessions = vec![rec(100.0, true), rec(200.0, true), rec(300.0, false)];
+        assert_eq!(median(&sessions, |s| f64::from(s.cdn_delay_ms)), 200.0);
+        let pct = ratio_pct(&sessions, |s| s.fast_startup());
+        assert!((pct - 66.666).abs() < 0.01);
+    }
+
+    #[test]
+    fn paper_config_scales_arrivals() {
+        let base = paper_config(1.0);
+        let half = paper_config(0.5);
+        assert!(
+            (half.workload.peak_arrivals_per_sec - base.workload.peak_arrivals_per_sec / 2.0)
+                .abs()
+                < 1e-12
+        );
+    }
+}

@@ -1,0 +1,329 @@
+//! The Streaming Brain facade.
+//!
+//! Ties Global Discovery, Global Routing, Path Decision and Stream
+//! Management together behind one API, the way Fig. 4 wires the modules:
+//! reports flow in, the PIB refreshes every 10 minutes, path requests are
+//! served from the PIB with overload filtering, and popular broadcasters
+//! get their paths prefetched to all nodes.
+
+use crate::decision::{PathDecision, PathLookup};
+use crate::discovery::{GlobalDiscovery, OverloadAlarm};
+use crate::routing::{GlobalRouting, RoutingConfig};
+use livenet_topology::{NodeReport, Topology};
+use livenet_types::{NodeId, Result, SimDuration, SimTime, StreamId};
+use std::collections::BTreeSet;
+
+/// Brain-level configuration.
+#[derive(Debug, Clone, Default)]
+pub struct BrainConfig {
+    /// Routing parameters (K, hop limit, weight params, period).
+    pub routing: RoutingConfig,
+}
+
+/// The logically centralized controller.
+#[derive(Debug)]
+pub struct StreamingBrain {
+    topology: Topology,
+    routing: GlobalRouting,
+    discovery: GlobalDiscovery,
+    decision: PathDecision,
+    popular: BTreeSet<StreamId>,
+    last_recompute: Option<SimTime>,
+    /// Completed recompute rounds (telemetry).
+    pub recompute_rounds: u64,
+}
+
+impl StreamingBrain {
+    /// New brain over an initial topology; computes the first PIB at t=0.
+    pub fn new(topology: Topology, config: BrainConfig) -> Self {
+        let routing = GlobalRouting::new(config.routing);
+        let mut brain = StreamingBrain {
+            topology,
+            routing,
+            discovery: GlobalDiscovery::new(),
+            decision: PathDecision::new(),
+            popular: BTreeSet::new(),
+            last_recompute: None,
+            recompute_rounds: 0,
+        };
+        brain.force_recompute(SimTime::ZERO);
+        brain
+    }
+
+    /// The working topology (the Brain's latest view).
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Mutable topology access — used by simulations that own ground truth
+    /// (e.g. scaling capacity up for the Double-12 festival, §6.5).
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topology
+    }
+
+    /// Routing module (constraint predicate, config).
+    pub fn routing(&self) -> &GlobalRouting {
+        &self.routing
+    }
+
+    /// Path Decision module (telemetry counters).
+    pub fn decision(&self) -> &PathDecision {
+        &self.decision
+    }
+
+    /// Discovery module (alarm counters).
+    pub fn discovery(&self) -> &GlobalDiscovery {
+        &self.discovery
+    }
+
+    /// Absorb one node report: updates the view and the working topology,
+    /// and handles any implied overload alarms (PIB invalidation).
+    pub fn absorb_report(&mut self, report: &NodeReport) -> Vec<OverloadAlarm> {
+        let alarms = self
+            .discovery
+            .absorb_report(report, &mut self.decision.pib);
+        self.discovery.view().apply_to(&mut self.topology);
+        alarms
+    }
+
+    /// Handle an explicit real-time overload alarm.
+    pub fn overload_alarm(&mut self, alarm: OverloadAlarm) -> usize {
+        self.discovery.handle_alarm(alarm, &mut self.decision.pib)
+    }
+
+    /// Recompute the PIB if the 10-minute period elapsed. Returns true when
+    /// a recompute ran.
+    pub fn maybe_recompute(&mut self, now: SimTime) -> bool {
+        let period = SimDuration::from_secs(self.routing.config().period_secs);
+        let due = match self.last_recompute {
+            None => true,
+            Some(last) => now.saturating_since(last) >= period,
+        };
+        if due {
+            self.force_recompute(now);
+        }
+        due
+    }
+
+    /// Unconditionally recompute the PIB from the current topology.
+    pub fn force_recompute(&mut self, now: SimTime) {
+        let entries = self.routing.compute_all(&self.topology, now);
+        self.decision.pib.replace_all(entries);
+        self.last_recompute = Some(now);
+        self.recompute_rounds += 1;
+    }
+
+    /// Stream Management: a producer registered a new upload (§4.1).
+    pub fn register_stream(&mut self, stream: StreamId, producer: NodeId) {
+        self.decision.sib.register(stream, producer);
+    }
+
+    /// Broadcaster mobility (§7.1): the broadcaster moved to a new
+    /// producer node. The SIB re-homes the stream (new viewers route to
+    /// the new producer) and the best path from the new producer to the
+    /// old one is returned, so the driver can instruct the old producer to
+    /// subscribe to the new one — existing overlay paths stay intact.
+    pub fn rehome_producer(
+        &mut self,
+        stream: StreamId,
+        new_producer: NodeId,
+        now: SimTime,
+    ) -> Result<crate::decision::PathLookup> {
+        let old = self
+            .decision
+            .sib
+            .producer_of(stream)
+            .ok_or_else(|| livenet_types::Error::not_found(format!("stream {stream}")))?;
+        self.decision.sib.register(stream, new_producer);
+        if old == new_producer {
+            return self.path_request(stream, old, now);
+        }
+        // Path from the NEW producer to the OLD one (the old producer acts
+        // as a consumer of the re-homed stream).
+        self.decision
+            .get_path(stream, old, &self.routing, &self.topology, now)
+    }
+
+    /// Stream Management: a stream ended.
+    pub fn unregister_stream(&mut self, stream: StreamId) {
+        self.decision.sib.unregister(stream);
+        self.popular.remove(&stream);
+    }
+
+    /// Producer currently registered for a stream.
+    pub fn producer_of(&self, stream: StreamId) -> Option<NodeId> {
+        self.decision.sib.producer_of(stream)
+    }
+
+    /// Serve a path request from a consumer node (Algorithm 1 `GetPath`).
+    pub fn path_request(
+        &mut self,
+        stream: StreamId,
+        consumer: NodeId,
+        now: SimTime,
+    ) -> Result<PathLookup> {
+        self.decision
+            .get_path(stream, consumer, &self.routing, &self.topology, now)
+    }
+
+    /// Mark a broadcaster's stream as popular (historical viewing stats or
+    /// advance notice of a campaign, §4.4 footnote 7).
+    pub fn mark_popular(&mut self, stream: StreamId) {
+        self.popular.insert(stream);
+    }
+
+    /// True when the stream is in the popular set.
+    pub fn is_popular(&self, stream: StreamId) -> bool {
+        self.popular.contains(&stream)
+    }
+
+    /// Build the proactive prefetch set for a popular stream: the best path
+    /// to *every* routable node, pushed before any viewer arrives (§4.4).
+    pub fn prefetch_paths(
+        &mut self,
+        stream: StreamId,
+        now: SimTime,
+    ) -> Vec<(NodeId, PathLookup)> {
+        if !self.popular.contains(&stream) {
+            return Vec::new();
+        }
+        let consumers: Vec<NodeId> = self.topology.routable_node_ids().collect();
+        let mut out = Vec::new();
+        for consumer in consumers {
+            if let Ok(lookup) = self.decision.get_path(
+                stream,
+                consumer,
+                &self.routing,
+                &self.topology,
+                now,
+            ) {
+                out.push((consumer, lookup));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use livenet_topology::{GeoConfig, GeoTopology, LinkReport};
+    use livenet_types::SimDuration;
+
+    fn brain(seed: u64) -> (StreamingBrain, Vec<NodeId>) {
+        let g = GeoTopology::generate(&GeoConfig::tiny(seed));
+        let nodes: Vec<NodeId> = g.topology.routable_node_ids().collect();
+        (StreamingBrain::new(g.topology, BrainConfig::default()), nodes)
+    }
+
+    #[test]
+    fn initial_pib_is_populated() {
+        let (b, nodes) = brain(1);
+        let n = nodes.len();
+        assert_eq!(b.decision().pib.len(), n * (n - 1));
+        assert_eq!(b.recompute_rounds, 1);
+    }
+
+    #[test]
+    fn periodic_recompute_respects_period() {
+        let (mut b, _) = brain(2);
+        assert!(!b.maybe_recompute(SimTime::from_secs(599)));
+        assert!(b.maybe_recompute(SimTime::from_secs(600)));
+        assert_eq!(b.recompute_rounds, 2);
+        assert!(!b.maybe_recompute(SimTime::from_secs(700)));
+    }
+
+    #[test]
+    fn stream_lifecycle_and_path_request() {
+        let (mut b, nodes) = brain(3);
+        let s = StreamId::new(10);
+        b.register_stream(s, nodes[0]);
+        assert_eq!(b.producer_of(s), Some(nodes[0]));
+        let r = b.path_request(s, nodes[5], SimTime::ZERO).unwrap();
+        assert_eq!(r.paths[0].producer(), nodes[0]);
+        b.unregister_stream(s);
+        assert!(b.path_request(s, nodes[5], SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn overload_report_invalidates_then_recompute_heals() {
+        let (mut b, nodes) = brain(4);
+        let victim = nodes[1];
+        let total_before = b.decision().pib.total_paths();
+        let report = NodeReport {
+            node: victim,
+            at: SimTime::from_secs(60),
+            utilization: 0.9,
+            links: vec![],
+        };
+        let alarms = b.absorb_report(&report);
+        assert_eq!(alarms.len(), 1);
+        assert!(b.decision().pib.total_paths() < total_before);
+        // The working topology now sees the node loaded; recompute avoids it.
+        b.force_recompute(SimTime::from_secs(120));
+        for (_, paths) in b.decision().pib.iter() {
+            for p in paths {
+                assert!(!p.contains_node(victim) || p.producer() == victim || p.consumer() == victim);
+            }
+        }
+    }
+
+    #[test]
+    fn link_report_updates_working_topology() {
+        let (mut b, nodes) = brain(5);
+        let report = NodeReport {
+            node: nodes[0],
+            at: SimTime::from_secs(60),
+            utilization: 0.2,
+            links: vec![LinkReport {
+                to: nodes[1],
+                rtt: SimDuration::from_millis(123),
+                loss: 0.004,
+                utilization: 0.5,
+                from_transport: true,
+            }],
+        };
+        b.absorb_report(&report);
+        let l = b.topology().link(nodes[0], nodes[1]).unwrap();
+        assert_eq!(l.rtt, SimDuration::from_millis(123));
+        assert_eq!(l.loss, 0.004);
+    }
+
+    #[test]
+    fn prefetch_only_for_popular_streams() {
+        let (mut b, nodes) = brain(6);
+        let s = StreamId::new(77);
+        b.register_stream(s, nodes[0]);
+        assert!(b.prefetch_paths(s, SimTime::ZERO).is_empty());
+        b.mark_popular(s);
+        let prefetched = b.prefetch_paths(s, SimTime::ZERO);
+        assert_eq!(prefetched.len(), nodes.len());
+        // Every consumer gets a usable path (zero-hop for the producer).
+        assert!(prefetched.iter().all(|(_, l)| !l.paths.is_empty()));
+    }
+
+    #[test]
+    fn rehome_producer_updates_sib_and_returns_bridge_path() {
+        let (mut b, nodes) = brain(8);
+        let s = StreamId::new(5);
+        b.register_stream(s, nodes[0]);
+        let lookup = b.rehome_producer(s, nodes[3], SimTime::ZERO).unwrap();
+        // SIB re-homed: new viewers resolve to the new producer.
+        assert_eq!(b.producer_of(s), Some(nodes[3]));
+        // The bridge path runs from the NEW producer to the OLD one.
+        assert_eq!(lookup.paths[0].producer(), nodes[3]);
+        assert_eq!(lookup.paths[0].consumer(), nodes[0]);
+        // Unknown stream errors.
+        assert!(b.rehome_producer(StreamId::new(99), nodes[1], SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn unregister_clears_popular_flag() {
+        let (mut b, nodes) = brain(7);
+        let s = StreamId::new(8);
+        b.register_stream(s, nodes[0]);
+        b.mark_popular(s);
+        b.unregister_stream(s);
+        assert!(!b.is_popular(s));
+    }
+}

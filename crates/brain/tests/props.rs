@@ -1,0 +1,94 @@
+//! Property-based tests for the routing algorithms.
+
+use livenet_brain::{dijkstra, link_weight, sigmoid_factor, yen_ksp, WeightedGraph, WeightParams};
+use livenet_types::{NodeId, SimDuration};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Random connected-ish digraph: n nodes, each with edges to a random
+/// subset of others.
+fn arb_graph() -> impl Strategy<Value = WeightedGraph> {
+    (3usize..10, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = livenet_types::DetRng::seed(seed);
+        let ids: Vec<NodeId> = (0..n as u64).map(NodeId::new).collect();
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in 0..n {
+                if a != b && rng.chance(0.6) {
+                    edges.push((
+                        ids[a],
+                        ids[b],
+                        rng.range_f64(1.0, 100.0),
+                    ));
+                }
+            }
+        }
+        WeightedGraph::new(ids, edges)
+    })
+}
+
+proptest! {
+    /// Yen's K paths: sorted by cost, loopless, distinct, within hop bound,
+    /// and the first equals Dijkstra's answer.
+    #[test]
+    fn yen_invariants(g in arb_graph(), k in 1usize..5, max_hops in 1usize..5) {
+        let n = g.len();
+        for src in 0..n.min(3) {
+            for dst in 0..n {
+                if src == dst { continue; }
+                let paths = yen_ksp(&g, src, dst, k, max_hops);
+                prop_assert!(paths.len() <= k);
+                for w in paths.windows(2) {
+                    prop_assert!(w[0].0 <= w[1].0 + 1e-9);
+                }
+                let mut seen = HashSet::new();
+                for (cost, p) in &paths {
+                    prop_assert!(p.len() - 1 <= max_hops, "hop bound");
+                    prop_assert_eq!(p[0], src);
+                    prop_assert_eq!(*p.last().unwrap(), dst);
+                    let set: HashSet<usize> = p.iter().copied().collect();
+                    prop_assert_eq!(set.len(), p.len(), "loopless");
+                    prop_assert!(seen.insert(p.clone()), "distinct");
+                    prop_assert!(cost.is_finite() && *cost >= 0.0);
+                }
+                let best = dijkstra(&g, src, dst, &HashSet::new(), &HashSet::new(), max_hops);
+                match (paths.first(), best) {
+                    (Some((c, p)), Some((bc, bp))) => {
+                        prop_assert!((c - bc).abs() < 1e-9, "yen best != dijkstra");
+                        prop_assert_eq!(p, &bp);
+                    }
+                    (None, None) => {}
+                    (a, b) => prop_assert!(false, "reachability mismatch {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+
+    /// The weight function is monotone in every argument and ≥ RTT.
+    #[test]
+    fn weight_monotone(
+        rtt_ms in 1u64..500,
+        loss in 0.0f64..0.5,
+        util in 0.0f64..1.0,
+        d_rtt in 1u64..100,
+        d_loss in 0.0f64..0.3,
+        d_util in 0.0f64..0.5,
+    ) {
+        let p = WeightParams::default();
+        let rtt = SimDuration::from_millis(rtt_ms);
+        let base = link_weight(rtt, loss, util, p);
+        prop_assert!(base >= rtt.as_millis_f64() * 0.999);
+        prop_assert!(link_weight(SimDuration::from_millis(rtt_ms + d_rtt), loss, util, p) >= base);
+        prop_assert!(link_weight(rtt, (loss + d_loss).min(1.0), util, p) >= base - 1e-9);
+        prop_assert!(link_weight(rtt, loss, (util + d_util).min(1.0), p) >= base - 1e-9);
+    }
+
+    /// The sigmoid stays in (1, 2) and is monotone.
+    #[test]
+    fn sigmoid_bounds(u in 0.0f64..1.0, du in 0.0f64..1.0) {
+        let p = WeightParams::default();
+        let f = sigmoid_factor(u, p);
+        prop_assert!(f >= 1.0 && f <= 2.0);
+        prop_assert!(sigmoid_factor((u + du).min(1.0), p) >= f - 1e-12);
+    }
+}

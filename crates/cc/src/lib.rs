@@ -1,0 +1,117 @@
+//! Congestion control and pacing for the LiveNet slow/fast paths.
+//!
+//! The slow path adopts GCC (Google Congestion Control, Carlucci et al.
+//! 2016) — paper §5.1: "The sender rate control decides the pacing rate
+//! based on both the delay-based receiver-side control and the loss-based
+//! sender-side control. This pacing rate will then be passed to the pacer in
+//! the fast path." This crate implements that split from scratch:
+//!
+//! * [`delay`] — the receiver-side delay-based estimator: inter-group delay
+//!   gradient, trendline slope, adaptive-threshold over-use detector, and
+//!   the AIMD remote rate controller (produces REMB values);
+//! * [`loss`] — the sender-side loss-based controller;
+//! * [`GccSender`] — combines the two into the pacing rate;
+//! * [`pacer`] — the fast path's token-bucket pacer with the paper's
+//!   priority rules: audio first (avoid head-of-line blocking), then
+//!   retransmissions, then video, with a pacing gain of 1.5 while an
+//!   I frame is draining.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delay;
+pub mod loss;
+pub mod pacer;
+
+pub use delay::{DelayBasedEstimator, OveruseDetector, RateControlState, TrendlineEstimator};
+pub use loss::LossBasedController;
+pub use pacer::{PacedPacket, Pacer, PacerConfig, SendPriority};
+
+use livenet_types::{Bandwidth, SimTime};
+
+/// Sender-side GCC: combines the receiver's delay-based estimate (REMB)
+/// with the local loss-based estimate; the pacing rate is their minimum.
+#[derive(Debug, Clone)]
+pub struct GccSender {
+    loss_based: LossBasedController,
+    remb: Option<Bandwidth>,
+    floor: Bandwidth,
+    ceil: Bandwidth,
+}
+
+impl GccSender {
+    /// New sender-side controller with an initial rate and rate bounds.
+    pub fn new(initial: Bandwidth, floor: Bandwidth, ceil: Bandwidth) -> Self {
+        GccSender {
+            loss_based: LossBasedController::new(initial, floor, ceil),
+            remb: None,
+            floor,
+            ceil,
+        }
+    }
+
+    /// Feed a receiver report's loss fraction (sender-side control input).
+    pub fn on_loss_report(&mut self, now: SimTime, loss_fraction: f64) {
+        self.loss_based.on_loss_report(now, loss_fraction);
+    }
+
+    /// Feed the receiver's delay-based estimate (REMB).
+    pub fn on_remb(&mut self, bitrate: Bandwidth) {
+        self.remb = Some(bitrate.max(self.floor).min(self.ceil));
+    }
+
+    /// The pacing rate: min(loss-based, delay-based).
+    pub fn pacing_rate(&self) -> Bandwidth {
+        let lb = self.loss_based.rate();
+        match self.remb {
+            Some(r) => lb.min(r),
+            None => lb,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use livenet_types::SimDuration;
+
+    #[test]
+    fn pacing_rate_is_min_of_controls() {
+        let mut s = GccSender::new(
+            Bandwidth::from_kbps(1000),
+            Bandwidth::from_kbps(100),
+            Bandwidth::from_mbps(10),
+        );
+        assert_eq!(s.pacing_rate(), Bandwidth::from_kbps(1000));
+        s.on_remb(Bandwidth::from_kbps(600));
+        assert_eq!(s.pacing_rate(), Bandwidth::from_kbps(600));
+        s.on_remb(Bandwidth::from_mbps(5));
+        assert_eq!(s.pacing_rate(), Bandwidth::from_kbps(1000));
+    }
+
+    #[test]
+    fn heavy_loss_reduces_rate() {
+        let mut s = GccSender::new(
+            Bandwidth::from_kbps(1000),
+            Bandwidth::from_kbps(100),
+            Bandwidth::from_mbps(10),
+        );
+        let mut now = SimTime::ZERO;
+        for _ in 0..5 {
+            now = now + SimDuration::from_secs(1);
+            s.on_loss_report(now, 0.2);
+        }
+        assert!(s.pacing_rate() < Bandwidth::from_kbps(1000));
+    }
+
+    #[test]
+    fn remb_clamped_to_bounds() {
+        let mut s = GccSender::new(
+            Bandwidth::from_kbps(500),
+            Bandwidth::from_kbps(100),
+            Bandwidth::from_kbps(2000),
+        );
+        s.on_remb(Bandwidth::from_bps(1));
+        assert_eq!(s.pacing_rate(), Bandwidth::from_kbps(100));
+    }
+}

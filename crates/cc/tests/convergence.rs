@@ -1,0 +1,136 @@
+//! GCC end-to-end convergence: the estimator against a virtual bottleneck.
+//!
+//! Feeds the delay-based estimator with arrival times produced by an
+//! explicit single-server queue at a fixed capacity — the textbook setup
+//! GCC is designed for — and checks that the combined controller
+//! converges near (and does not overshoot) the bottleneck.
+
+use livenet_cc::{DelayBasedEstimator, GccSender};
+use livenet_types::{Bandwidth, SimDuration, SimTime};
+
+/// Simulate `secs` seconds of a sender at `send_rate` through a
+/// `bottleneck` queue; return the receiver-side estimate trajectory.
+fn run_queue(
+    send_rate: Bandwidth,
+    bottleneck: Bandwidth,
+    secs: u64,
+    est: &mut DelayBasedEstimator,
+) -> Vec<(SimTime, Bandwidth)> {
+    let pkt = 1200usize;
+    let send_gap = SimDuration::from_secs_f64(pkt as f64 * 8.0 / send_rate.as_bps() as f64);
+    let service = SimDuration::from_secs_f64(pkt as f64 * 8.0 / bottleneck.as_bps() as f64);
+    let base_delay = SimDuration::from_millis(20);
+
+    let mut trajectory = Vec::new();
+    let mut depart = SimTime::ZERO;
+    let mut queue_free_at = SimTime::ZERO;
+    let end = SimTime::from_secs(secs);
+    while depart < end {
+        let start_service = depart.max(queue_free_at);
+        queue_free_at = start_service + service;
+        let arrival = queue_free_at + base_delay;
+        est.on_packet(depart, arrival, pkt);
+        trajectory.push((depart, est.estimate()));
+        depart = depart + send_gap;
+    }
+    trajectory
+}
+
+#[test]
+fn overload_drives_estimate_down_to_bottleneck() {
+    let mut est = DelayBasedEstimator::new(
+        Bandwidth::from_kbps(4_000),
+        Bandwidth::from_kbps(100),
+        Bandwidth::from_mbps(20),
+    );
+    // Sending 4 Mbps through a 2 Mbps bottleneck: queue grows, the
+    // over-use detector fires, the AIMD controller backs off.
+    let tr = run_queue(
+        Bandwidth::from_kbps(4_000),
+        Bandwidth::from_kbps(2_000),
+        10,
+        &mut est,
+    );
+    let last = tr.last().expect("samples").1;
+    assert!(
+        last < Bandwidth::from_kbps(3_000),
+        "estimate failed to back off: {last}"
+    );
+}
+
+#[test]
+fn underload_lets_estimate_grow() {
+    let mut est = DelayBasedEstimator::new(
+        Bandwidth::from_kbps(800),
+        Bandwidth::from_kbps(100),
+        Bandwidth::from_mbps(20),
+    );
+    // 800 kbps through a 10 Mbps bottleneck: no queueing, steady growth.
+    let tr = run_queue(
+        Bandwidth::from_kbps(800),
+        Bandwidth::from_mbps(10),
+        10,
+        &mut est,
+    );
+    let last = tr.last().expect("samples").1;
+    assert!(
+        last > Bandwidth::from_kbps(1_200),
+        "estimate failed to probe upward: {last}"
+    );
+}
+
+#[test]
+fn combined_sender_respects_both_signals() {
+    let mut sender = GccSender::new(
+        Bandwidth::from_kbps(2_000),
+        Bandwidth::from_kbps(100),
+        Bandwidth::from_mbps(20),
+    );
+    // Clean reports let the loss-based side grow…
+    let mut now = SimTime::ZERO;
+    for _ in 0..10 {
+        now = now + SimDuration::from_millis(500);
+        sender.on_loss_report(now, 0.0);
+    }
+    let grown = sender.pacing_rate();
+    assert!(grown > Bandwidth::from_kbps(2_000));
+    // …but a low REMB caps the pacing rate immediately.
+    sender.on_remb(Bandwidth::from_kbps(900));
+    assert_eq!(sender.pacing_rate(), Bandwidth::from_kbps(900));
+    // And heavy loss pulls the loss-based side below the REMB.
+    for _ in 0..20 {
+        now = now + SimDuration::from_millis(500);
+        sender.on_loss_report(now, 0.3);
+    }
+    assert!(sender.pacing_rate() < Bandwidth::from_kbps(900));
+}
+
+#[test]
+fn estimator_recovers_after_congestion_clears() {
+    let mut est = DelayBasedEstimator::new(
+        Bandwidth::from_kbps(3_000),
+        Bandwidth::from_kbps(100),
+        Bandwidth::from_mbps(20),
+    );
+    // Phase 1: overload for 8 s.
+    run_queue(
+        Bandwidth::from_kbps(3_000),
+        Bandwidth::from_kbps(1_500),
+        8,
+        &mut est,
+    );
+    let after_congestion = est.estimate();
+    // Phase 2: the bottleneck clears (plenty of capacity) for 20 s.
+    run_queue(
+        Bandwidth::from_kbps(1_000),
+        Bandwidth::from_mbps(10),
+        20,
+        &mut est,
+    );
+    assert!(
+        est.estimate() > after_congestion,
+        "no recovery: {} -> {}",
+        after_congestion,
+        est.estimate()
+    );
+}

@@ -1,0 +1,239 @@
+//! The overlay wire protocol.
+//!
+//! Nodes exchange a single datagram type, [`OverlayMsg`], over UDP (or the
+//! emulator's datagram service):
+//!
+//! * `Rtp` — a media packet envelope. Carries the per-hop departure time
+//!   (the abs-send-time role in WebRTC) that the next hop's delay-based
+//!   GCC estimator needs, plus the stream ID so the Stream FIB lookup does
+//!   not require decoding the RTP header.
+//! * `Rtcp` — feedback (NACK / receiver report / REMB) for a stream.
+//! * `Subscribe` / `SubscribeOk` / `Unsubscribe` — the reverse-path
+//!   establishment protocol of §4.4 ("Overlay Path Establishment").
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use livenet_types::{Error, NodeId, Result, SimTime, StreamId};
+
+const TAG_RTP: u8 = 1;
+const TAG_RTCP: u8 = 2;
+const TAG_SUBSCRIBE: u8 = 3;
+const TAG_SUBSCRIBE_OK: u8 = 4;
+const TAG_UNSUBSCRIBE: u8 = 5;
+
+/// One overlay datagram.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OverlayMsg {
+    /// A media packet in flight, wrapped with forwarding metadata.
+    Rtp {
+        /// Stream the packet belongs to.
+        stream: StreamId,
+        /// Departure time at the sending hop (feeds GCC at the receiver).
+        sent_at: SimTime,
+        /// Encoded [`livenet_packet::RtpPacket`] bytes.
+        packet: Bytes,
+        /// True when this is a retransmission (skips some slow-path work).
+        retransmit: bool,
+    },
+    /// Feedback for a stream: encoded [`livenet_packet::RtcpPacket`] bytes.
+    Rtcp {
+        /// Stream the feedback is about.
+        stream: StreamId,
+        /// Encoded RTCP bytes.
+        packet: Bytes,
+    },
+    /// Subscribe to a stream; `remainder` is the rest of the reverse path
+    /// toward the producer (consumed right-to-left as hops backtrack).
+    Subscribe {
+        /// Stream being subscribed.
+        stream: StreamId,
+        /// Upstream nodes still to traverse, producer first.
+        remainder: Vec<NodeId>,
+    },
+    /// Acknowledgement that the subscription reached a node that already
+    /// carries the stream (or the producer).
+    SubscribeOk {
+        /// Stream subscribed.
+        stream: StreamId,
+    },
+    /// Remove the sender from the stream's subscriber set.
+    Unsubscribe {
+        /// Stream to drop.
+        stream: StreamId,
+    },
+}
+
+impl OverlayMsg {
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.wire_len());
+        match self {
+            OverlayMsg::Rtp {
+                stream,
+                sent_at,
+                packet,
+                retransmit,
+            } => {
+                buf.put_u8(TAG_RTP);
+                buf.put_u64(stream.raw());
+                buf.put_u64(sent_at.as_nanos());
+                buf.put_u8(u8::from(*retransmit));
+                buf.put_slice(packet);
+            }
+            OverlayMsg::Rtcp { stream, packet } => {
+                buf.put_u8(TAG_RTCP);
+                buf.put_u64(stream.raw());
+                buf.put_slice(packet);
+            }
+            OverlayMsg::Subscribe { stream, remainder } => {
+                buf.put_u8(TAG_SUBSCRIBE);
+                buf.put_u64(stream.raw());
+                buf.put_u16(remainder.len() as u16);
+                for n in remainder {
+                    buf.put_u64(n.raw());
+                }
+            }
+            OverlayMsg::SubscribeOk { stream } => {
+                buf.put_u8(TAG_SUBSCRIBE_OK);
+                buf.put_u64(stream.raw());
+            }
+            OverlayMsg::Unsubscribe { stream } => {
+                buf.put_u8(TAG_UNSUBSCRIBE);
+                buf.put_u64(stream.raw());
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Encoded size in bytes.
+    pub fn wire_len(&self) -> usize {
+        match self {
+            OverlayMsg::Rtp { packet, .. } => 1 + 8 + 8 + 1 + packet.len(),
+            OverlayMsg::Rtcp { packet, .. } => 1 + 8 + packet.len(),
+            OverlayMsg::Subscribe { remainder, .. } => 1 + 8 + 2 + 8 * remainder.len(),
+            OverlayMsg::SubscribeOk { .. } | OverlayMsg::Unsubscribe { .. } => 1 + 8,
+        }
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(mut buf: Bytes) -> Result<OverlayMsg> {
+        if buf.is_empty() {
+            return Err(Error::decode("empty overlay message"));
+        }
+        let tag = buf.get_u8();
+        match tag {
+            TAG_RTP => {
+                if buf.remaining() < 17 {
+                    return Err(Error::decode("truncated RTP envelope"));
+                }
+                let stream = StreamId::new(buf.get_u64());
+                let sent_at = SimTime::from_nanos(buf.get_u64());
+                let retransmit = buf.get_u8() != 0;
+                Ok(OverlayMsg::Rtp {
+                    stream,
+                    sent_at,
+                    packet: buf,
+                    retransmit,
+                })
+            }
+            TAG_RTCP => {
+                if buf.remaining() < 8 {
+                    return Err(Error::decode("truncated RTCP envelope"));
+                }
+                let stream = StreamId::new(buf.get_u64());
+                Ok(OverlayMsg::Rtcp {
+                    stream,
+                    packet: buf,
+                })
+            }
+            TAG_SUBSCRIBE => {
+                if buf.remaining() < 10 {
+                    return Err(Error::decode("truncated Subscribe"));
+                }
+                let stream = StreamId::new(buf.get_u64());
+                let n = buf.get_u16() as usize;
+                if buf.remaining() < n * 8 {
+                    return Err(Error::decode("truncated Subscribe path"));
+                }
+                let remainder = (0..n).map(|_| NodeId::new(buf.get_u64())).collect();
+                Ok(OverlayMsg::Subscribe { stream, remainder })
+            }
+            TAG_SUBSCRIBE_OK => {
+                if buf.remaining() < 8 {
+                    return Err(Error::decode("truncated SubscribeOk"));
+                }
+                Ok(OverlayMsg::SubscribeOk {
+                    stream: StreamId::new(buf.get_u64()),
+                })
+            }
+            TAG_UNSUBSCRIBE => {
+                if buf.remaining() < 8 {
+                    return Err(Error::decode("truncated Unsubscribe"));
+                }
+                Ok(OverlayMsg::Unsubscribe {
+                    stream: StreamId::new(buf.get_u64()),
+                })
+            }
+            other => Err(Error::decode(format!("unknown overlay tag {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtp_envelope_roundtrip() {
+        let m = OverlayMsg::Rtp {
+            stream: StreamId::new(42),
+            sent_at: SimTime::from_millis(1234),
+            packet: Bytes::from_static(b"rtp-bytes"),
+            retransmit: true,
+        };
+        assert_eq!(OverlayMsg::decode(m.encode()).unwrap(), m);
+        assert_eq!(m.encode().len(), m.wire_len());
+    }
+
+    #[test]
+    fn subscribe_roundtrip_with_remainder() {
+        let m = OverlayMsg::Subscribe {
+            stream: StreamId::new(7),
+            remainder: vec![NodeId::new(1), NodeId::new(9)],
+        };
+        assert_eq!(OverlayMsg::decode(m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn subscribe_roundtrip_empty_remainder() {
+        let m = OverlayMsg::Subscribe {
+            stream: StreamId::new(7),
+            remainder: vec![],
+        };
+        assert_eq!(OverlayMsg::decode(m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn control_messages_roundtrip() {
+        for m in [
+            OverlayMsg::SubscribeOk {
+                stream: StreamId::new(3),
+            },
+            OverlayMsg::Unsubscribe {
+                stream: StreamId::new(4),
+            },
+            OverlayMsg::Rtcp {
+                stream: StreamId::new(5),
+                packet: Bytes::from_static(b"fb"),
+            },
+        ] {
+            assert_eq!(OverlayMsg::decode(m.encode()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(OverlayMsg::decode(Bytes::new()).is_err());
+        assert!(OverlayMsg::decode(Bytes::from_static(&[99])).is_err());
+        assert!(OverlayMsg::decode(Bytes::from_static(&[TAG_RTP, 0, 1])).is_err());
+    }
+}

@@ -1,0 +1,327 @@
+//! Slow-path receive state: loss detection and NACK bookkeeping (§5.1).
+//!
+//! "For loss recovery, each node examines holes in the sequence numbers of
+//! the received RTP packets every 50 ms and sends the sequence numbers of
+//! the lost packets to the upstream node in RTCP NACK messages."
+//!
+//! [`RxState`] tracks, per (upstream, stream): the highest sequence number,
+//! the set of missing sequence numbers with per-seq NACK retry state, the
+//! cumulative expected/received counters feeding receiver reports, and an
+//! interarrival jitter estimate.
+
+use livenet_types::{SeqNo, SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Per-missing-sequence retry state.
+#[derive(Debug, Clone, Copy)]
+struct MissingEntry {
+    detected_at: SimTime,
+    nacks_sent: u32,
+    last_nack: Option<SimTime>,
+}
+
+/// Outcome of feeding one packet to the receive state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RxOutcome {
+    /// A never-before-seen, in-order packet.
+    Fresh,
+    /// A packet that filled a previously-detected hole (recovery).
+    Recovered {
+        /// Time from hole detection to recovery.
+        after: SimDuration,
+    },
+    /// A duplicate (already received or already given up on).
+    Duplicate,
+}
+
+/// Slow-path receive state for one (upstream, stream) pair.
+#[derive(Debug)]
+pub struct RxState {
+    highest: Option<SeqNo>,
+    missing: BTreeMap<u16, MissingEntry>,
+    /// Cumulative packets received (non-duplicate).
+    pub received: u64,
+    /// Cumulative packets expected (sequence span covered).
+    pub expected: u64,
+    /// Packets abandoned after exhausting NACK retries.
+    pub abandoned: u64,
+    /// Packets recovered via retransmission.
+    pub recovered: u64,
+    // RR window snapshot (values at the last report).
+    rr_received: u64,
+    rr_expected: u64,
+    // Interarrival jitter (RFC 3550-style EWMA), in microseconds.
+    jitter_us: f64,
+    last_transit: Option<SimDuration>,
+}
+
+impl Default for RxState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RxState {
+    /// Fresh state.
+    pub fn new() -> Self {
+        RxState {
+            highest: None,
+            missing: BTreeMap::new(),
+            received: 0,
+            expected: 0,
+            abandoned: 0,
+            recovered: 0,
+            rr_received: 0,
+            rr_expected: 0,
+            jitter_us: 0.0,
+            last_transit: None,
+        }
+    }
+
+    /// Highest sequence number seen.
+    pub fn highest(&self) -> Option<SeqNo> {
+        self.highest
+    }
+
+    /// Number of currently-outstanding holes.
+    pub fn outstanding_holes(&self) -> usize {
+        self.missing.len()
+    }
+
+    /// Feed one received packet. `transit` is arrival − sent_at (per-hop
+    /// one-way delay sample feeding the jitter estimate).
+    pub fn on_packet(&mut self, now: SimTime, seq: SeqNo, transit: SimDuration) -> RxOutcome {
+        // Jitter update per RFC 3550 §6.4.1 (J += (|D| − J) / 16).
+        if let Some(prev) = self.last_transit {
+            let d = transit.as_micros() as f64 - prev.as_micros() as f64;
+            self.jitter_us += (d.abs() - self.jitter_us) / 16.0;
+        }
+        self.last_transit = Some(transit);
+
+        match self.highest {
+            None => {
+                self.highest = Some(seq);
+                self.received += 1;
+                self.expected += 1;
+                RxOutcome::Fresh
+            }
+            Some(h) if seq.newer_than(h) => {
+                // Mark intermediate holes.
+                let gap = seq.distance(h);
+                let mut s = h.next();
+                for _ in 1..gap {
+                    self.missing.insert(
+                        s.0,
+                        MissingEntry {
+                            detected_at: now,
+                            nacks_sent: 0,
+                            last_nack: None,
+                        },
+                    );
+                    s = s.next();
+                }
+                self.highest = Some(seq);
+                self.received += 1;
+                self.expected += gap as u64;
+                RxOutcome::Fresh
+            }
+            Some(_) => {
+                // At or behind highest: either a recovery or a duplicate.
+                if let Some(entry) = self.missing.remove(&seq.0) {
+                    self.received += 1;
+                    self.recovered += 1;
+                    RxOutcome::Recovered {
+                        after: now.saturating_since(entry.detected_at),
+                    }
+                } else {
+                    RxOutcome::Duplicate
+                }
+            }
+        }
+    }
+
+    /// The 50 ms loss scan: returns the sequence numbers to NACK now.
+    ///
+    /// A hole is NACKed when it has never been NACKed, or when its last NACK
+    /// is older than `retry_interval`. After `retry_limit` NACKs the hole is
+    /// abandoned (the depacketizer's GC will skip the frame).
+    pub fn scan(
+        &mut self,
+        now: SimTime,
+        retry_interval: SimDuration,
+        retry_limit: u32,
+    ) -> Vec<SeqNo> {
+        let mut to_nack = Vec::new();
+        let mut abandoned = Vec::new();
+        for (&seq, entry) in self.missing.iter_mut() {
+            if entry.nacks_sent >= retry_limit {
+                abandoned.push(seq);
+                continue;
+            }
+            let due = match entry.last_nack {
+                None => true,
+                Some(t) => now.saturating_since(t) >= retry_interval,
+            };
+            if due {
+                entry.nacks_sent += 1;
+                entry.last_nack = Some(now);
+                to_nack.push(SeqNo(seq));
+            }
+        }
+        for seq in abandoned {
+            self.missing.remove(&seq);
+            self.abandoned += 1;
+        }
+        to_nack
+    }
+
+    /// Produce receiver-report statistics for the window since the last
+    /// call: `(loss_fraction, highest_seq, jitter_us)`.
+    pub fn rr_stats(&mut self) -> (f64, SeqNo, u32) {
+        let expected = self.expected - self.rr_expected;
+        let received = self.received - self.rr_received;
+        self.rr_expected = self.expected;
+        self.rr_received = self.received;
+        let loss = if expected == 0 {
+            0.0
+        } else {
+            ((expected.saturating_sub(received)) as f64 / expected as f64).clamp(0.0, 1.0)
+        };
+        (
+            loss,
+            self.highest.unwrap_or(SeqNo::ZERO),
+            self.jitter_us as u32,
+        )
+    }
+
+    /// Cumulative residual loss rate (abandoned / expected).
+    pub fn residual_loss(&self) -> f64 {
+        if self.expected == 0 {
+            0.0
+        } else {
+            self.abandoned as f64 / self.expected as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: SimDuration = SimDuration::from_millis(10);
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn in_order_packets_are_fresh() {
+        let mut rx = RxState::new();
+        for i in 0..10u16 {
+            assert_eq!(rx.on_packet(at(i as u64), SeqNo(i), T), RxOutcome::Fresh);
+        }
+        assert_eq!(rx.received, 10);
+        assert_eq!(rx.expected, 10);
+        assert_eq!(rx.outstanding_holes(), 0);
+    }
+
+    #[test]
+    fn gap_creates_holes_and_nacks() {
+        let mut rx = RxState::new();
+        rx.on_packet(at(0), SeqNo(0), T);
+        rx.on_packet(at(10), SeqNo(4), T); // holes 1,2,3
+        assert_eq!(rx.outstanding_holes(), 3);
+        let nacks = rx.scan(at(50), SimDuration::from_millis(50), 5);
+        assert_eq!(nacks, vec![SeqNo(1), SeqNo(2), SeqNo(3)]);
+        // Immediately rescanning does not re-NACK (retry interval).
+        assert!(rx.scan(at(60), SimDuration::from_millis(50), 5).is_empty());
+        // After the interval it does.
+        let again = rx.scan(at(100), SimDuration::from_millis(50), 5);
+        assert_eq!(again.len(), 3);
+    }
+
+    #[test]
+    fn recovery_clears_hole_and_reports_latency() {
+        let mut rx = RxState::new();
+        rx.on_packet(at(0), SeqNo(0), T);
+        rx.on_packet(at(10), SeqNo(2), T);
+        match rx.on_packet(at(40), SeqNo(1), T) {
+            RxOutcome::Recovered { after } => {
+                assert_eq!(after, SimDuration::from_millis(30));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(rx.outstanding_holes(), 0);
+        assert_eq!(rx.recovered, 1);
+    }
+
+    #[test]
+    fn duplicates_are_flagged() {
+        let mut rx = RxState::new();
+        rx.on_packet(at(0), SeqNo(0), T);
+        assert_eq!(rx.on_packet(at(1), SeqNo(0), T), RxOutcome::Duplicate);
+    }
+
+    #[test]
+    fn abandon_after_retry_limit() {
+        let mut rx = RxState::new();
+        rx.on_packet(at(0), SeqNo(0), T);
+        rx.on_packet(at(1), SeqNo(2), T);
+        for i in 0..3 {
+            let n = rx.scan(at(100 * (i + 1)), SimDuration::from_millis(50), 3);
+            assert_eq!(n.len(), 1, "retry {i}");
+        }
+        // 4th scan: retries exhausted → abandoned.
+        let n = rx.scan(at(500), SimDuration::from_millis(50), 3);
+        assert!(n.is_empty());
+        assert_eq!(rx.abandoned, 1);
+        assert_eq!(rx.outstanding_holes(), 0);
+        assert!(rx.residual_loss() > 0.0);
+        // Late arrival of the abandoned packet is a duplicate.
+        assert_eq!(rx.on_packet(at(600), SeqNo(1), T), RxOutcome::Duplicate);
+    }
+
+    #[test]
+    fn rr_stats_window_resets() {
+        let mut rx = RxState::new();
+        rx.on_packet(at(0), SeqNo(0), T);
+        rx.on_packet(at(1), SeqNo(3), T); // expect 4, got 2
+        let (loss, highest, _) = rx.rr_stats();
+        assert!((loss - 0.5).abs() < 1e-9);
+        assert_eq!(highest, SeqNo(3));
+        // New window: recover one hole → negative loss clamps to 0.
+        rx.on_packet(at(2), SeqNo(1), T);
+        let (loss2, _, _) = rx.rr_stats();
+        assert_eq!(loss2, 0.0);
+    }
+
+    #[test]
+    fn jitter_tracks_transit_variation() {
+        let mut rx = RxState::new();
+        // Constant transit → jitter ≈ 0.
+        for i in 0..20u16 {
+            rx.on_packet(at(u64::from(i) * 10), SeqNo(i), SimDuration::from_millis(5));
+        }
+        let (_, _, j0) = rx.rr_stats();
+        assert_eq!(j0, 0);
+        // Oscillating transit → jitter > 0.
+        for i in 20..60u16 {
+            let t = if i % 2 == 0 { 5 } else { 25 };
+            rx.on_packet(at(u64::from(i) * 10), SeqNo(i), SimDuration::from_millis(t));
+        }
+        let (_, _, j1) = rx.rr_stats();
+        assert!(j1 > 1000, "jitter={j1}us");
+    }
+
+    #[test]
+    fn seq_wraparound_handled() {
+        let mut rx = RxState::new();
+        rx.on_packet(at(0), SeqNo(u16::MAX - 1), T);
+        rx.on_packet(at(1), SeqNo(1), T); // holes: 65535, 0
+        assert_eq!(rx.outstanding_holes(), 2);
+        let nacks = rx.scan(at(50), SimDuration::from_millis(50), 5);
+        assert_eq!(nacks.len(), 2);
+        assert!(nacks.contains(&SeqNo(u16::MAX)));
+        assert!(nacks.contains(&SeqNo(0)));
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based tests for the node data-plane structures.
+
+use bytes::Bytes;
+use livenet_media::FrameKind;
+use livenet_node::{StreamCache, StreamFib, Subscriber};
+use livenet_packet::{MediaKind, Packetizer};
+use livenet_node::rx::{RxOutcome, RxState};
+use livenet_types::{ClientId, DetRng, NodeId, SeqNo, SimDuration, SimTime, Ssrc, StreamId};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+#[derive(Debug, Clone)]
+enum FibOp {
+    Sub(u64, u64, bool),
+    Unsub(u64, u64, bool),
+}
+
+fn arb_fib_ops() -> impl Strategy<Value = Vec<FibOp>> {
+    prop::collection::vec(
+        (0u64..5, 0u64..6, any::<bool>(), any::<bool>()).prop_map(|(s, p, client, sub)| {
+            if sub {
+                FibOp::Sub(s, p, client)
+            } else {
+                FibOp::Unsub(s, p, client)
+            }
+        }),
+        0..100,
+    )
+}
+
+proptest! {
+    /// The FIB matches a reference model (HashSet) under any op sequence.
+    #[test]
+    fn fib_matches_reference(ops in arb_fib_ops()) {
+        let mut fib = StreamFib::new();
+        let mut model: HashSet<(u64, Subscriber)> = HashSet::new();
+        for op in ops {
+            match op {
+                FibOp::Sub(s, p, client) => {
+                    let sub = if client {
+                        Subscriber::Client(ClientId::new(p))
+                    } else {
+                        Subscriber::Node(NodeId::new(p))
+                    };
+                    let added = fib.subscribe(StreamId::new(s), sub);
+                    prop_assert_eq!(added, model.insert((s, sub)));
+                }
+                FibOp::Unsub(s, p, client) => {
+                    let sub = if client {
+                        Subscriber::Client(ClientId::new(p))
+                    } else {
+                        Subscriber::Node(NodeId::new(p))
+                    };
+                    let removed = fib.unsubscribe(StreamId::new(s), sub);
+                    prop_assert_eq!(removed, model.remove(&(s, sub)));
+                }
+            }
+            // Aggregate invariants hold at every step.
+            prop_assert_eq!(fib.total_subscriptions(), model.len());
+            for s in 0..5u64 {
+                let count = model.iter().filter(|(ms, _)| *ms == s).count();
+                prop_assert_eq!(fib.subscriber_count(StreamId::new(s)), count);
+                prop_assert_eq!(fib.has_stream(StreamId::new(s)), count > 0);
+            }
+        }
+    }
+
+    /// RxState: received + outstanding + abandoned == expected, always.
+    #[test]
+    fn rx_accounting_invariant(
+        deliveries in prop::collection::vec((0u16..500, any::<bool>()), 1..300),
+        scans in 1u64..20,
+    ) {
+        let mut rx = RxState::new();
+        let mut t = SimTime::ZERO;
+        for (i, &(seq, deliver)) in deliveries.iter().enumerate() {
+            t = SimTime::from_millis(i as u64 * 7);
+            if deliver {
+                rx.on_packet(t, SeqNo(seq), SimDuration::from_millis(5));
+            }
+        }
+        for s in 0..scans {
+            let _ = rx.scan(
+                t + SimDuration::from_millis(s * 100),
+                SimDuration::from_millis(50),
+                3,
+            );
+        }
+        prop_assert_eq!(
+            rx.received + rx.outstanding_holes() as u64 + rx.abandoned,
+            rx.expected,
+            "accounting identity broken"
+        );
+        prop_assert!(rx.residual_loss() <= 1.0);
+    }
+
+    /// Cache: a contiguous insert sequence always yields a startup burst
+    /// beginning at an I frame and ending at the newest packet.
+    #[test]
+    fn cache_burst_invariants(
+        frames in prop::collection::vec((any::<bool>(), 100usize..4000), 1..30),
+        capacity in 64usize..512,
+    ) {
+        let mut cache = StreamCache::new(capacity);
+        let mut p = Packetizer::new(Ssrc(3), SeqNo(0));
+        let mut any_i = false;
+        let mut total = 0usize;
+        for (i, &(is_i, size)) in frames.iter().enumerate() {
+            let kind = if is_i || i == 0 { FrameKind::I } else { FrameKind::P };
+            any_i |= kind == FrameKind::I;
+            let payload = Bytes::from(vec![0u8; size]);
+            for pkt in p.packetize_with_meta(MediaKind::Video, i as u32 * 3000, &payload, None, kind.to_nibble()) {
+                total += 1;
+                cache.insert(pkt);
+            }
+        }
+        prop_assert!(cache.len() <= capacity.max(8));
+        let burst = cache.startup_burst();
+        if !burst.is_empty() {
+            prop_assert!(any_i);
+            prop_assert_eq!(cache.kind_of(burst[0].header.seq), Some(FrameKind::I));
+            prop_assert_eq!(burst.last().unwrap().header.seq, cache.highest_seq().unwrap());
+            for w in burst.windows(2) {
+                prop_assert_eq!(w[1].header.seq, w[0].header.seq.next());
+            }
+        }
+        let _ = total;
+    }
+
+    /// Duplicate delivery is always detected, never double-counted.
+    #[test]
+    fn rx_duplicates_detected(seqs in prop::collection::vec(0u16..100, 1..200)) {
+        let mut rx = RxState::new();
+        let mut rng = DetRng::seed(1);
+        let mut delivered: HashSet<u16> = HashSet::new();
+        let mut fresh_or_recovered = 0u64;
+        for (i, &s) in seqs.iter().enumerate() {
+            let t = SimTime::from_millis(i as u64);
+            let out = rx.on_packet(t, SeqNo(s), SimDuration::from_millis(3));
+            match out {
+                RxOutcome::Fresh | RxOutcome::Recovered { .. } => {
+                    prop_assert!(delivered.insert(s), "double-counted {s}");
+                    fresh_or_recovered += 1;
+                }
+                RxOutcome::Duplicate => {
+                    // Either truly seen, or behind the window start.
+                }
+            }
+            let _ = rng.f64();
+        }
+        prop_assert_eq!(rx.received, fresh_or_recovered);
+    }
+}
+
+proptest! {
+    /// Timer keys roundtrip for every kind and id.
+    #[test]
+    fn timer_kind_roundtrip(raw in 0u64..(1u64 << 48), client: bool) {
+        use livenet_node::TimerKind;
+        let kinds = [
+            TimerKind::LossScan,
+            TimerKind::RrTick,
+            if client {
+                TimerKind::PacerPoll(Subscriber::Client(ClientId::new(raw)))
+            } else {
+                TimerKind::PacerPoll(Subscriber::Node(NodeId::new(raw)))
+            },
+        ];
+        for k in kinds {
+            prop_assert_eq!(TimerKind::decode(k.encode()), Some(k));
+        }
+    }
+}

@@ -1,0 +1,1070 @@
+//! Fleet-level (session-granularity) simulation of LiveNet and Hier.
+//!
+//! Runs the paper's 20-day evaluation: both systems process the *same*
+//! viewing sessions over the same topology ground truth (mirroring §6.1's
+//! parallel deployment on a shared node pool). The control planes are the
+//! real ones — [`StreamingBrain`] with its PIB/SIB and overload handling
+//! for LiveNet, the VDN-like [`HierController`] for Hier — and the data
+//! plane is tracked at subscription granularity: per-(node, stream)
+//! presence with reverse-path establishment, cache-hit backtracking and
+//! the resulting long-chain effect, exactly as `livenet-node` implements
+//! packet-by-packet.
+//!
+//! Per-session delay/startup/stall metrics are composed from link state
+//! plus the packet-level-calibrated constants in [`crate::calibrate`]
+//! (DESIGN.md §4 explains the two-fidelity approach).
+
+use crate::calibrate::LatencyConstants;
+use crate::metrics::SessionRecord;
+use crate::workload::{SessionSpec, Workload, WorkloadConfig};
+use livenet_brain::StreamingBrain;
+use livenet_emu::EventQueue;
+use livenet_hier::{HierController, HierDelayModel, HierDelayParams, HierRoles};
+use livenet_topology::{GeoConfig, GeoTopology, NodeReport, Topology};
+use livenet_types::{DetRng, NodeId, SimDuration, SimTime, StreamId};
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+
+/// Which system a record belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum System {
+    /// The flat, centrally-controlled design.
+    LiveNet,
+    /// The hierarchical baseline.
+    Hier,
+}
+
+/// Fleet simulation parameters.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Topology generator settings.
+    pub geo: GeoConfig,
+    /// Workload settings.
+    pub workload: WorkloadConfig,
+    /// Calibrated latency constants.
+    pub latency: LatencyConstants,
+    /// Hier delay-model parameters.
+    pub hier: HierDelayParams,
+    /// Sessions a node can forward before its load metric reads 1.0.
+    pub node_capacity_sessions: f64,
+    /// Stream-sessions a link carries before its utilization reads 1.0.
+    pub link_capacity_sessions: f64,
+    /// Extra capacity provisioned on festival days (§6.5 up-scaling).
+    pub festival_upscale: f64,
+    /// Realized-path hop count that triggers a quality-driven path switch
+    /// (the long-chain mitigation of §4.4).
+    pub long_chain_switch_hops: usize,
+    /// Fraction of views on a degraded last mile (drives the stall mix).
+    pub bad_last_mile_fraction: f64,
+    /// Streaming Brain configuration (routing K, hop limit, weight params).
+    pub brain: livenet_brain::BrainConfig,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            geo: GeoConfig::paper_scale(1),
+            workload: WorkloadConfig::default(),
+            latency: LatencyConstants::default(),
+            hier: HierDelayParams::default(),
+            node_capacity_sessions: 20.0,
+            link_capacity_sessions: 120.0,
+            festival_upscale: 1.5,
+            long_chain_switch_hops: 5,
+            bad_last_mile_fraction: 0.05,
+            brain: livenet_brain::BrainConfig::default(),
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Small/fast configuration for tests.
+    pub fn smoke(seed: u64) -> Self {
+        FleetConfig {
+            geo: GeoConfig {
+                nodes: 18,
+                countries: 5,
+                seed,
+                ..GeoConfig::paper_scale(seed)
+            },
+            workload: WorkloadConfig {
+                days: 1,
+                peak_arrivals_per_sec: 0.5,
+                ..WorkloadConfig::smoke(seed)
+            },
+            ..Default::default()
+        }
+    }
+}
+
+/// Per-(node, stream) LiveNet forwarding state.
+#[derive(Debug, Clone)]
+struct Presence {
+    upstream: Option<NodeId>,
+    /// Realized path from producer to this node (inclusive).
+    realized: Vec<NodeId>,
+    /// Direct downstream subscribers (nodes + viewers).
+    downstreams: u32,
+}
+
+/// An active viewing session.
+#[derive(Debug, Clone)]
+struct Active {
+    consumer: NodeId,
+    stream: StreamId,
+    hier_path: Vec<NodeId>,
+}
+
+enum Ev {
+    Arrival(SessionSpec),
+    Departure(u64),
+    StreamStart(usize),
+    StreamEnd(usize),
+    MinuteTick,
+}
+
+/// Aggregate outputs of one fleet run.
+#[derive(Debug, Default)]
+pub struct FleetReport {
+    /// Per-session records, LiveNet.
+    pub livenet: Vec<SessionRecord>,
+    /// Per-session records, Hier (same sessions, same order).
+    pub hier: Vec<SessionRecord>,
+    /// Mean link loss (fraction) per absolute hour — Fig. 13 input.
+    pub hourly_loss: Vec<f64>,
+    /// Peak concurrent-session throughput per day (bits/s) — Fig. 14.
+    pub daily_peak_throughput: Vec<f64>,
+    /// Unique realized LiveNet paths per day — §6.5's +20 % observation.
+    pub daily_unique_paths: Vec<usize>,
+    /// Sessions skipped because the channel was offline.
+    pub skipped_offline: u64,
+    /// Long-chain path switches performed.
+    pub chain_switches: u64,
+    /// Brain PIB recompute rounds executed.
+    pub recompute_rounds: u64,
+}
+
+/// The fleet simulator.
+pub struct FleetSim {
+    config: FleetConfig,
+    topology: Topology, // ground truth (shared by both systems)
+    edges_by_country: Vec<Vec<NodeId>>,
+    brain: StreamingBrain,
+    hier: HierController,
+    hier_delay: HierDelayModel,
+    workload: Workload,
+    rng: DetRng,
+    // LiveNet data-plane state.
+    presence: HashMap<(NodeId, StreamId), Presence>,
+    // Hier data-plane state: refcounts per (node, stream) (GoP caches).
+    hier_presence: HashMap<(NodeId, StreamId), u32>,
+    // Loads.
+    node_fanout: HashMap<NodeId, f64>,
+    link_sessions: HashMap<(NodeId, NodeId), f64>,
+    // Channel schedule: per channel, sorted (start, end) live blocks.
+    live_blocks: Vec<Vec<(SimTime, SimTime)>>,
+    producers: Vec<NodeId>, // per channel
+    queue: EventQueue<Ev>,
+    active: HashMap<u64, Active>,
+    next_session_id: u64,
+    report: FleetReport,
+    // Scratch aggregation.
+    hour_loss_sum: f64,
+    hour_loss_n: u64,
+    current_hour: u64,
+    day_paths: HashSet<u64>,
+    current_day: u32,
+    day_peak_bps: f64,
+    bitrate_bps: f64,
+}
+
+impl FleetSim {
+    /// Build the simulator (generates topology, channels, schedules).
+    pub fn new(config: FleetConfig) -> FleetSim {
+        let geo = GeoTopology::generate(&config.geo);
+        let topology = geo.topology.clone();
+        let countries = config.geo.countries;
+        let mut edges_by_country: Vec<Vec<NodeId>> = vec![Vec::new(); countries as usize];
+        for n in topology.nodes() {
+            if !n.last_resort && !n.well_peered {
+                edges_by_country[n.country as usize].push(n.id);
+            }
+        }
+        // Countries whose only nodes are hubs still need an edge pick.
+        for (c, v) in edges_by_country.iter_mut().enumerate() {
+            if v.is_empty() {
+                v.extend(
+                    topology
+                        .nodes()
+                        .filter(|n| n.country == c as u32 && !n.last_resort)
+                        .map(|n| n.id),
+                );
+            }
+        }
+
+        let brain = StreamingBrain::new(topology.clone(), config.brain.clone());
+        let roles = HierRoles::assign(&topology, 2);
+        let hier = HierController::new(roles);
+        let workload = Workload::new(config.workload.clone(), countries);
+        let mut rng = DetRng::seed(config.workload.seed).fork("fleet");
+
+        // Channel producers: a stable edge node in the channel's country.
+        let producers: Vec<NodeId> = workload
+            .channels
+            .iter()
+            .map(|ch| {
+                let edges = &edges_by_country[ch.country as usize];
+                edges[(ch.rank * 7 + 3) % edges.len()]
+            })
+            .collect();
+
+        // Live schedule per channel: alternating live (mean 3 h) and off
+        // (mean 40 min) periods — "live streams come and go often" (§3).
+        let horizon = workload.horizon();
+        let live_blocks: Vec<Vec<(SimTime, SimTime)>> = (0..workload.channels.len())
+            .map(|_| {
+                let mut blocks = Vec::new();
+                let mut t = SimTime::from_secs(rng.range_u64(0, 1800));
+                while t < horizon {
+                    let live = SimDuration::from_secs_f64(
+                        rng.exp(3.0 * 3600.0).clamp(600.0, 12.0 * 3600.0),
+                    );
+                    // Clamp to the horizon so every StreamEnd is processed.
+                    let end = (t + live).max(t + SimDuration::from_secs(60)).min(horizon);
+                    blocks.push((t, end));
+                    let off =
+                        SimDuration::from_secs_f64(rng.exp(2400.0).clamp(120.0, 3.0 * 3600.0));
+                    t = end + off;
+                }
+                blocks
+            })
+            .collect();
+
+        FleetSim {
+            bitrate_bps: 2_500_000.0,
+            config,
+            topology,
+            edges_by_country,
+            brain,
+            hier,
+            hier_delay: HierDelayModel::default(),
+            workload,
+            rng,
+            presence: HashMap::new(),
+            hier_presence: HashMap::new(),
+            node_fanout: HashMap::new(),
+            link_sessions: HashMap::new(),
+            live_blocks,
+            producers,
+            queue: EventQueue::new(),
+            active: HashMap::new(),
+            next_session_id: 0,
+            report: FleetReport::default(),
+            hour_loss_sum: 0.0,
+            hour_loss_n: 0,
+            current_hour: 0,
+            day_paths: HashSet::new(),
+            current_day: 0,
+            day_peak_bps: 0.0,
+        }
+    }
+
+    /// Ground-truth topology access (tests).
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Run the whole configured period and return the report.
+    pub fn run(mut self) -> FleetReport {
+        self.hier_delay = HierDelayModel::new(self.config.hier);
+        // Seed stream start/end events.
+        for (ch, blocks) in self.live_blocks.clone().into_iter().enumerate() {
+            for (start, end) in blocks {
+                self.queue.schedule(start, Ev::StreamStart(ch));
+                self.queue.schedule(end, Ev::StreamEnd(ch));
+            }
+        }
+        self.queue.schedule(SimTime::from_secs(60), Ev::MinuteTick);
+        if let Some(first) = self.workload.next_session() {
+            self.queue.schedule(first.at, Ev::Arrival(first));
+        }
+        let horizon = self.workload.horizon();
+        while let Some((now, ev)) = self.queue.pop_until(horizon) {
+            match ev {
+                Ev::Arrival(spec) => {
+                    // Chain the next arrival first (keeps the stream lazy).
+                    if let Some(next) = self.workload.next_session() {
+                        self.queue.schedule(next.at, Ev::Arrival(next));
+                    }
+                    self.on_arrival(now, spec);
+                }
+                Ev::Departure(id) => self.on_departure(now, id),
+                Ev::StreamStart(ch) => self.on_stream_start(now, ch),
+                Ev::StreamEnd(ch) => self.on_stream_end(now, ch),
+                Ev::MinuteTick => {
+                    self.on_minute(now);
+                    self.queue
+                        .schedule(now + SimDuration::from_secs(60), Ev::MinuteTick);
+                }
+            }
+        }
+        self.flush_hour();
+        self.flush_day();
+        // The trailing flush can emit a phantom partial day/hour at the
+        // horizon boundary; clamp to the configured window.
+        let days = self.config.workload.days as usize;
+        self.report.daily_peak_throughput.truncate(days);
+        self.report.daily_unique_paths.truncate(days);
+        self.report.hourly_loss.truncate(days * 24);
+        self.report.recompute_rounds = self.brain.recompute_rounds;
+        self.report
+    }
+
+    // ------------------------------------------------------------------
+    // Stream lifecycle
+    // ------------------------------------------------------------------
+
+    fn on_stream_start(&mut self, _now: SimTime, ch: usize) {
+        let stream = self.workload.channels[ch].stream;
+        let producer = self.producers[ch];
+        self.brain.register_stream(stream, producer);
+        if self.workload.channels[ch].popular {
+            self.brain.mark_popular(stream);
+        }
+        let _ = self.hier.register_stream(&self.topology, stream, producer);
+        // The producer itself carries the stream (zero-hop presence).
+        self.presence
+            .entry((producer, stream))
+            .or_insert(Presence {
+                upstream: None,
+                realized: vec![producer],
+                downstreams: 0,
+            });
+        *self.hier_presence.entry((producer, stream)).or_insert(0) += 1;
+    }
+
+    fn on_stream_end(&mut self, _now: SimTime, ch: usize) {
+        let stream = self.workload.channels[ch].stream;
+        self.brain.unregister_stream(stream);
+        self.hier.unregister_stream(stream);
+        // Sessions were truncated to the block end, so refcounts should be
+        // drained; sweep any leftovers (e.g. the producer's own entry).
+        self.presence.retain(|&(_, s), _| s != stream);
+        self.hier_presence.retain(|&(_, s), _| s != stream);
+    }
+
+    fn channel_live_until(&self, ch: usize, now: SimTime) -> Option<SimTime> {
+        self.live_blocks[ch]
+            .iter()
+            .find(|(s, e)| *s <= now && now < *e)
+            .map(|(_, e)| *e)
+    }
+
+    // ------------------------------------------------------------------
+    // Session arrival / departure
+    // ------------------------------------------------------------------
+
+    fn on_arrival(&mut self, now: SimTime, spec: SessionSpec) {
+        let Some(live_until) = self.channel_live_until(spec.channel, now) else {
+            self.report.skipped_offline += 1;
+            return;
+        };
+        let stream = self.workload.channels[spec.channel].stream;
+        let producer = self.producers[spec.channel];
+        let Some(mut consumer) = self
+            .workload
+            .pick_edge(&self.edges_by_country, spec.viewer_country)
+        else {
+            return;
+        };
+        // Producers are mapped to ingest-optimized clusters; a viewer lands
+        // on the broadcaster's own node only rarely (the paper's 0.13 %
+        // len-0 share). At our ~10× reduced node count a uniform pick
+        // would collide far too often, so re-draw unless a rare collision
+        // is sampled (DESIGN.md §1 notes this substitution).
+        if consumer == producer && !self.rng.chance(0.005) {
+            for _ in 0..8 {
+                if consumer != producer {
+                    break;
+                }
+                if let Some(c) = self
+                    .workload
+                    .pick_edge(&self.edges_by_country, spec.viewer_country)
+                {
+                    consumer = c;
+                }
+            }
+            if consumer == producer {
+                // Country with a single edge: accept the zero-hop session.
+            }
+        }
+        let international = self
+            .topology
+            .is_international(producer, consumer)
+            .unwrap_or(false);
+
+        // Shared client-side conditions (identical for both systems —
+        // the paired-methodology trick that gives Fig. 8a its clean gap).
+        // Last-mile LATENCY (distance to the nearest edge) and last-mile
+        // BANDWIDTH (access technology) are drawn independently: remote
+        // viewers have high streaming delay but can still start fast,
+        // which is exactly the Fig. 9 GoP-cache observation.
+        let bad_last_mile = self.rng.chance(self.config.bad_last_mile_fraction);
+        let awful_last_mile = bad_last_mile && self.rng.chance(0.12);
+        let downlink_mbps = if bad_last_mile {
+            self.rng.log_normal(-0.1, 0.7) // ~0.9 Mbps median, heavy tail
+        } else {
+            self.rng.log_normal(2.1, 0.75) // ~8 Mbps median, slow tail
+        };
+        let last_mile_ms = self.config.latency.last_mile_ms * self.rng.log_normal(0.0, 0.6);
+        let buffer_fill_ms = self.config.latency.player_buffer_ms * (self.bitrate_bps / 1e6)
+            / downlink_mbps.max(0.3);
+        let duration = spec.duration.min(live_until.saturating_since(now));
+        let view_minutes = duration.as_secs_f64() / 60.0;
+
+        // ---------------- LiveNet ----------------
+        let ln = self.livenet_attach(now, consumer, stream, spec.channel);
+        let (path, local_hit, last_resort, brain_ms, first_packet_ms) = ln;
+        let path_loss: f64 = path
+            .windows(2)
+            .map(|w| self.topology.link(w[0], w[1]).map(|l| l.loss).unwrap_or(0.0))
+            .sum();
+        let cdn_ms = self.livenet_cdn_delay(&path);
+        let streaming_ms = cdn_ms
+            + self.config.latency.first_mile_ms * self.rng.log_normal(0.0, 0.25)
+            + last_mile_ms
+            + self.config.latency.player_buffer_ms
+            + 130.0; // encode + decode
+        // Startup sees one-way last-mile latency; playback delay sees the
+        // full round trip plus de-jitter margin.
+        let startup_ms = first_packet_ms + 0.5 * last_mile_ms + buffer_fill_ms;
+        // Stall mix: a degraded last mile dominates; CDN-induced stalls
+        // scale with residual loss after per-hop recovery.
+        let lambda_ln = if awful_last_mile {
+            2.3
+        } else if bad_last_mile {
+            0.45
+        } else {
+            0.0035
+        } + path_loss * 0.05 * view_minutes.min(30.0);
+        let stalls_ln = self.poisson(lambda_ln);
+        let hour = (now.as_secs_f64() / 3600.0) as u64;
+        self.report.livenet.push(SessionRecord {
+            start: now,
+            day: (hour / 24) as u32,
+            hour: (hour % 24) as u32,
+            path_len: (path.len().saturating_sub(1)) as u8,
+            international,
+            cdn_delay_ms: cdn_ms as f32,
+            streaming_delay_ms: streaming_ms as f32,
+            first_packet_ms: first_packet_ms as f32,
+            startup_ms: startup_ms as f32,
+            stalls: stalls_ln,
+            local_hit,
+            last_resort,
+            brain_response_ms: brain_ms.map(|v| v as f32),
+        });
+        // Unique-path bookkeeping.
+        let mut h = DefaultHasher::new();
+        path.hash(&mut h);
+        self.day_paths.insert(h.finish());
+
+        // ---------------- Hier ----------------
+        let (hier_path, hier_hit, hier_first_packet) =
+            self.hier_attach(now, consumer, stream);
+        let hier_cdn_ms = if hier_path.len() >= 2 {
+            let base = self
+                .hier_delay
+                .cdn_path_delay(&self.topology, &livenet_hier::HierPath {
+                    nodes: hier_path.clone(),
+                })
+                .map(|d| d.as_millis_f64())
+                .unwrap_or(450.0);
+            // Center queueing under load (the §2.3 hot-spot effect).
+            base + self.center_queueing_ms(&hier_path)
+        } else {
+            450.0
+        };
+        let hier_streaming_ms = hier_cdn_ms
+            + self.config.latency.first_mile_ms * self.rng.log_normal(0.0, 0.25)
+            + last_mile_ms
+            + self.config.latency.player_buffer_ms
+            + 130.0;
+        // RTMP-over-TCP startup ramps through slow start from the cache
+        // tier, unlike LiveNet's paced UDP GoP burst.
+        let hier_startup_ms = hier_first_packet + 0.5 * last_mile_ms + buffer_fill_ms * 2.0;
+        let hier_path_loss: f64 = hier_path
+            .windows(2)
+            .map(|w| self.topology.link(w[0], w[1]).map(|l| l.loss).unwrap_or(0.0))
+            .sum();
+        // TCP in-order delivery turns loss into visible stalls.
+        let lambda_h = if awful_last_mile {
+            4.0
+        } else if bad_last_mile {
+            0.95
+        } else {
+            0.014
+        } + hier_path_loss * 2.6 * view_minutes.min(30.0);
+        let stalls_h = self.poisson(lambda_h);
+        self.report.hier.push(SessionRecord {
+            start: now,
+            day: (hour / 24) as u32,
+            hour: (hour % 24) as u32,
+            path_len: (hier_path.len().saturating_sub(1)) as u8,
+            international,
+            cdn_delay_ms: hier_cdn_ms as f32,
+            streaming_delay_ms: hier_streaming_ms as f32,
+            first_packet_ms: hier_first_packet as f32,
+            startup_ms: hier_startup_ms as f32,
+            stalls: stalls_h,
+            local_hit: hier_hit,
+            last_resort: false,
+            brain_response_ms: None,
+        });
+
+        // Register the active session and schedule departure.
+        let id = self.next_session_id;
+        self.next_session_id += 1;
+        self.active.insert(
+            id,
+            Active {
+                consumer,
+                stream,
+                hier_path,
+            },
+        );
+        self.queue.schedule(now + duration, Ev::Departure(id));
+    }
+
+    fn on_departure(&mut self, _now: SimTime, id: u64) {
+        let Some(session) = self.active.remove(&id) else {
+            return;
+        };
+        self.livenet_detach(session.consumer, session.stream);
+        for &n in &session.hier_path {
+            if let Some(c) = self.hier_presence.get_mut(&(n, session.stream)) {
+                *c = c.saturating_sub(1);
+                if *c == 0 {
+                    self.hier_presence.remove(&(n, session.stream));
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // LiveNet attachment (the §4.4 establishment protocol, session level)
+    // ------------------------------------------------------------------
+
+    /// Returns `(realized_path, local_hit, last_resort, brain_ms, first_packet_ms)`.
+    fn livenet_attach(
+        &mut self,
+        now: SimTime,
+        consumer: NodeId,
+        stream: StreamId,
+        channel: usize,
+    ) -> (Vec<NodeId>, bool, bool, Option<f64>, f64) {
+        // Local hit: the consumer already forwards this stream.
+        if let Some(p) = self.presence.get_mut(&(consumer, stream)) {
+            p.downstreams += 1;
+            let realized = p.realized.clone();
+            let first_packet =
+                self.config.latency.local_serve_ms * self.rng.log_normal(0.0, 0.4);
+            return (realized, true, false, None, first_packet);
+        }
+
+        // Path lookup. Popular broadcasters' paths are prefetched to all
+        // nodes (§4.4), so no Brain round trip is charged for them.
+        let popular = self.workload.channels[channel].popular;
+        let lookup = self.brain.path_request(stream, consumer, now);
+        let Ok(lookup) = lookup else {
+            // Stream raced offline; serve degenerate zero-hop.
+            return (vec![consumer], false, false, None, 400.0);
+        };
+        let brain_ms = if popular {
+            None
+        } else {
+            // Response time = RTT to the nearest Path Decision replica
+            // (replicated at well-peered sites, §7.1) + hash lookup.
+            let rtt = self.nearest_replica_rtt(consumer);
+            // RTT to the replica + RPC/queueing overhead + hash lookup.
+            Some(rtt + 8.0 + self.config.latency.brain_lookup_ms * self.rng.log_normal(0.0, 0.5))
+        };
+
+        let best = &lookup.paths[0];
+        let last_resort = lookup.last_resort;
+        let path = best.nodes.clone();
+
+        // Reverse-path establishment with cache-hit backtracking: walk
+        // upstream from the consumer; the deepest node already carrying
+        // the stream anchors the chain (may create a long chain).
+        let mut anchor_idx = 0;
+        for i in (0..path.len().saturating_sub(1)).rev() {
+            if self.presence.contains_key(&(path[i], stream)) {
+                anchor_idx = i;
+                break;
+            }
+        }
+        let mut est_ms = 0.0;
+        for w in path[anchor_idx..].windows(2) {
+            if let Some(l) = self.topology.link(w[0], w[1]) {
+                // Subscribe/ok round trip + per-hop FIB/subscription work.
+                est_ms += l.rtt.as_millis_f64() + 10.0;
+            }
+        }
+        let realized = self
+            .presence
+            .get(&(path[anchor_idx], stream))
+            .map(|p| p.realized.clone())
+            .unwrap_or_else(|| vec![path[anchor_idx]]);
+        // Long-chain mitigation: if the realized chain would exceed the
+        // threshold, re-establish the full computed path from the producer
+        // (the consumer-driven switch of §4.4).
+        let chained_hops = realized.len() - 1 + (path.len() - 1 - anchor_idx);
+        let (anchor_idx, realized) = if chained_hops + 1 > self.config.long_chain_switch_hops {
+            self.report.chain_switches += 1;
+            est_ms = 0.0;
+            for w in path.windows(2) {
+                if let Some(l) = self.topology.link(w[0], w[1]) {
+                    est_ms += l.rtt.as_millis_f64() + 10.0;
+                }
+            }
+            (0, vec![path[0]])
+        } else {
+            (anchor_idx, realized)
+        };
+        let mut realized = {
+            let mut r = realized;
+            r.extend_from_slice(&path[anchor_idx + 1..]);
+            r
+        };
+        realized.dedup();
+
+        // Create presence entries along the new tail.
+        for j in (anchor_idx + 1)..path.len() {
+            let node = path[j];
+            let upstream = path[j - 1];
+            let prefix_len = realized
+                .iter()
+                .position(|&n| n == node)
+                .map(|p| p + 1)
+                .unwrap_or(realized.len());
+            let entry = self
+                .presence
+                .entry((node, stream))
+                .or_insert_with(|| Presence {
+                    upstream: Some(upstream),
+                    realized: realized[..prefix_len].to_vec(),
+                    downstreams: 0,
+                });
+            if j + 1 < path.len() {
+                entry.downstreams += 1; // its downstream chain node
+            }
+        }
+        // The anchor gains the first new downstream.
+        if let Some(a) = self.presence.get_mut(&(path[anchor_idx], stream)) {
+            a.downstreams += 1;
+        }
+        // The viewer is the consumer's downstream.
+        if let Some(c) = self.presence.get_mut(&(consumer, stream)) {
+            c.downstreams += 1;
+        }
+
+        let first_packet = brain_ms.unwrap_or(0.0)
+            + est_ms
+            + self.config.latency.local_serve_ms * self.rng.log_normal(0.0, 0.3);
+        (realized, false, last_resort, brain_ms, first_packet)
+    }
+
+    fn livenet_detach(&mut self, consumer: NodeId, stream: StreamId) {
+        let mut node = consumer;
+        loop {
+            let Some(p) = self.presence.get_mut(&(node, stream)) else {
+                break;
+            };
+            p.downstreams = p.downstreams.saturating_sub(1);
+            if p.downstreams > 0 {
+                break;
+            }
+            let upstream = p.upstream;
+            // Producers keep their zero-hop entry while the stream is live.
+            if upstream.is_none() {
+                break;
+            }
+            self.presence.remove(&(node, stream));
+            match upstream {
+                Some(up) => node = up,
+                None => break,
+            }
+        }
+    }
+
+    fn livenet_cdn_delay(&mut self, path: &[NodeId]) -> f64 {
+        let c = &self.config.latency;
+        let mut d = c.producer_processing_ms;
+        for w in path.windows(2) {
+            if let Some(l) = self.topology.link(w[0], w[1]) {
+                d += l.rtt.as_millis_f64() / 2.0;
+                d += c.recovery_penalty_ms(l.loss, l.rtt);
+                // Queueing grows with link utilization.
+                d += 6.0 * l.utilization;
+            }
+        }
+        let intermediates = path.len().saturating_sub(2);
+        d += c.relay_processing_ms * intermediates as f64;
+        if path.len() > 1 {
+            d += c.consumer_processing_ms;
+        } else {
+            d += c.consumer_processing_ms; // zero-hop: same node serves
+        }
+        d * self.rng.log_normal(0.0, 0.08)
+    }
+
+    fn nearest_replica_rtt(&self, consumer: NodeId) -> f64 {
+        // Path Decision replicas sit at well-peered sites + last-resort
+        // (IXP) nodes (§7.1).
+        self.topology
+            .nodes()
+            .filter(|n| n.well_peered)
+            .filter_map(|n| self.topology.link(consumer, n.id))
+            .map(|l| l.rtt.as_millis_f64())
+            .fold(f64::INFINITY, f64::min)
+            .min(200.0)
+    }
+
+    // ------------------------------------------------------------------
+    // Hier attachment
+    // ------------------------------------------------------------------
+
+    /// Returns `(path, local_hit, first_packet_ms)`.
+    fn hier_attach(
+        &mut self,
+        _now: SimTime,
+        consumer: NodeId,
+        stream: StreamId,
+    ) -> (Vec<NodeId>, bool, f64) {
+        let hit = self
+            .hier_presence
+            .get(&(consumer, stream))
+            .is_some_and(|&c| c > 0);
+        let Ok(path) = self.hier.path_for(&self.topology, stream, consumer) else {
+            return (vec![consumer], false, 600.0);
+        };
+        let nodes = path.nodes;
+        for &n in &nodes {
+            *self.hier_presence.entry((n, stream)).or_insert(0) += 1;
+        }
+        if hit {
+            let fp = self.config.latency.local_serve_ms * 1.3 * self.rng.log_normal(0.0, 0.4);
+            return (nodes, true, fp);
+        }
+        // Cache miss: climb the tree until a tier has the stream cached.
+        // nodes = [producerL1, upL2, center, downL2, consumerL1].
+        let mut fetch_ms = 0.0;
+        let mut cur = consumer;
+        for &tier in [nodes[3], nodes[2]].iter() {
+            if let Some(l) = self.topology.link(cur, tier) {
+                fetch_ms += l.rtt.as_millis_f64() * 1.5; // TCP request+slow start
+            }
+            cur = tier;
+            if self
+                .hier_presence
+                .get(&(tier, stream))
+                .is_some_and(|&c| c > 1)
+            {
+                break; // cached at this tier
+            }
+        }
+        let fp = fetch_ms
+            + self.config.latency.local_serve_ms * 1.3 * self.rng.log_normal(0.0, 0.3);
+        (nodes, false, fp)
+    }
+
+    fn center_queueing_ms(&mut self, path: &[NodeId]) -> f64 {
+        // All streams cross the center; queueing grows superlinearly with
+        // the center's fan-in share of concurrent sessions.
+        let center = path[2];
+        let load = self.hier_presence
+            .iter()
+            .filter(|((n, _), _)| *n == center)
+            .map(|(_, &c)| f64::from(c))
+            .sum::<f64>()
+            / (self.config.node_capacity_sessions * 30.0);
+        let u = load.min(1.5);
+        if u > 0.5 {
+            (u - 0.5) * 160.0 * self.rng.log_normal(0.0, 0.3)
+        } else {
+            0.0
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Periodic work: reports, loads, loss, aggregation
+    // ------------------------------------------------------------------
+
+    fn on_minute(&mut self, now: SimTime) {
+        let hour = (now.as_secs_f64() / 3600.0) as u64;
+        let day = (hour / 24) as u32;
+        // Plain hour-of-day load shape (loss follows *time of day*; the
+        // festival adds sessions but capacity is up-scaled to match, §6.5).
+        let diurnal = crate::workload::diurnal_factor(now.as_secs_f64() / 3600.0 % 24.0);
+        let festival = self
+            .config
+            .workload
+            .festival_days
+            .contains(&day);
+        let capacity_scale = if festival {
+            self.config.festival_upscale
+        } else {
+            1.0
+        };
+
+        // Recompute loads from the presence map (the ground truth): a
+        // node's fan-out is the sum of its direct downstream subscribers;
+        // a link carries one unit per stream flowing over it.
+        self.node_fanout.clear();
+        self.link_sessions.clear();
+        for (&(node, _), p) in &self.presence {
+            *self.node_fanout.entry(node).or_insert(0.0) += f64::from(p.downstreams);
+            if let Some(up) = p.upstream {
+                *self.link_sessions.entry((up, node)).or_insert(0.0) += 1.0;
+            }
+        }
+        // Update ground-truth loss (diurnal; Fig. 13) and utilization.
+        let updates: Vec<(NodeId, NodeId, f64, f64)> = self
+            .topology
+            .links()
+            .map(|(f, t, _)| {
+                let sessions = self.link_sessions.get(&(f, t)).copied().unwrap_or(0.0);
+                let util =
+                    (sessions / (self.config.link_capacity_sessions * capacity_scale)).min(1.0);
+                (f, t, util, 0.0)
+            })
+            .collect();
+        let mut loss_sum = 0.0;
+        let mut loss_n = 0u64;
+        let gen_base = self.config.geo.base_loss;
+        for (f, t, util, _) in updates {
+            if let Some(l) = self.topology.link_mut(f, t) {
+                l.utilization = util;
+                // Loss rises with the diurnal load (peaking < 0.175%).
+                let jitter = 0.8 + 0.4 * ((f.raw() * 31 + t.raw() * 17 + hour) % 97) as f64 / 97.0;
+                l.loss = (gen_base * (0.5 + 2.2 * diurnal) * jitter).min(0.00175);
+                loss_sum += l.loss;
+                loss_n += 1;
+            }
+        }
+        // Node loads.
+        let node_ids: Vec<NodeId> = self.topology.node_ids().collect();
+        for id in node_ids {
+            let fanout = self.node_fanout.get(&id).copied().unwrap_or(0.0).max(0.0);
+            let util = (fanout / (self.config.node_capacity_sessions * capacity_scale)).min(1.0);
+            if let Some(n) = self.topology.node_mut(id) {
+                n.utilization = util;
+            }
+        }
+
+        // 1-minute node reports into the Brain (overload alarms included).
+        let reports: Vec<NodeReport> = self
+            .topology
+            .routable_node_ids()
+            .filter_map(|n| livenet_topology::view::report_from_topology(&self.topology, n, now))
+            .collect();
+        for r in &reports {
+            self.brain.absorb_report(r);
+        }
+        // 10-minute PIB recompute.
+        self.brain.maybe_recompute(now);
+
+        // Aggregation: hour roll, day roll, throughput peak.
+        if hour != self.current_hour {
+            self.flush_hour();
+            self.current_hour = hour;
+        }
+        self.hour_loss_sum += if loss_n > 0 { loss_sum / loss_n as f64 } else { 0.0 };
+        self.hour_loss_n += 1;
+        if day != self.current_day {
+            self.flush_day();
+            self.current_day = day;
+        }
+        let throughput = self.active.len() as f64 * self.bitrate_bps;
+        self.day_peak_bps = self.day_peak_bps.max(throughput);
+    }
+
+    fn flush_hour(&mut self) {
+        while self.report.hourly_loss.len() < self.current_hour as usize {
+            self.report.hourly_loss.push(f64::NAN);
+        }
+        let mean = if self.hour_loss_n > 0 {
+            self.hour_loss_sum / self.hour_loss_n as f64
+        } else {
+            f64::NAN
+        };
+        self.report.hourly_loss.push(mean);
+        self.hour_loss_sum = 0.0;
+        self.hour_loss_n = 0;
+    }
+
+    fn flush_day(&mut self) {
+        while self.report.daily_peak_throughput.len() < self.current_day as usize {
+            self.report.daily_peak_throughput.push(0.0);
+            self.report.daily_unique_paths.push(0);
+        }
+        self.report.daily_peak_throughput.push(self.day_peak_bps);
+        self.report
+            .daily_unique_paths
+            .push(self.day_paths.len());
+        self.day_peak_bps = 0.0;
+        self.day_paths.clear();
+    }
+
+    fn poisson(&mut self, lambda: f64) -> u16 {
+        // Knuth's method; lambda is small (< ~3) in all our uses.
+        let l = (-lambda).exp();
+        let mut k = 0u16;
+        let mut p = 1.0;
+        loop {
+            p *= self.rng.f64();
+            if p <= l || k > 50 {
+                return k;
+            }
+            k += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::summarize;
+
+    fn smoke_report(seed: u64) -> FleetReport {
+        FleetSim::new(FleetConfig::smoke(seed)).run()
+    }
+
+    #[test]
+    fn smoke_run_produces_paired_sessions() {
+        let r = smoke_report(1);
+        assert!(r.livenet.len() > 500, "only {}", r.livenet.len());
+        assert_eq!(r.livenet.len(), r.hier.len());
+    }
+
+    #[test]
+    fn livenet_beats_hier_on_the_headline_metrics() {
+        let r = smoke_report(2);
+        let ln = summarize(&r.livenet);
+        let h = summarize(&r.hier);
+        assert!(
+            ln.median_cdn_delay_ms < h.median_cdn_delay_ms * 0.7,
+            "LiveNet {} vs Hier {}",
+            ln.median_cdn_delay_ms,
+            h.median_cdn_delay_ms
+        );
+        assert!(ln.median_path_len <= 2.0);
+        assert_eq!(h.median_path_len, 4.0);
+        assert!(ln.median_streaming_delay_ms < h.median_streaming_delay_ms);
+        assert!(ln.zero_stall_ratio > h.zero_stall_ratio);
+        assert!(ln.fast_startup_ratio >= h.fast_startup_ratio);
+    }
+
+    #[test]
+    fn hier_paths_are_always_four_hops() {
+        let r = smoke_report(3);
+        assert!(r.hier.iter().all(|s| s.path_len == 4));
+    }
+
+    #[test]
+    fn livenet_paths_respect_computed_bound_mostly() {
+        let r = smoke_report(4);
+        // Long chains can exceed 3 but are bounded by the switch threshold.
+        let too_long = r
+            .livenet
+            .iter()
+            .filter(|s| usize::from(s.path_len) > FleetConfig::smoke(4).long_chain_switch_hops)
+            .count();
+        assert_eq!(too_long, 0);
+        let over3 = r.livenet.iter().filter(|s| s.path_len > 3).count() as f64
+            / r.livenet.len() as f64;
+        assert!(over3 < 0.05, "{over3}");
+    }
+
+    #[test]
+    fn local_hits_happen_and_reduce_first_packet_delay() {
+        let r = smoke_report(5);
+        let hits: Vec<&SessionRecord> = r.livenet.iter().filter(|s| s.local_hit).collect();
+        let misses: Vec<&SessionRecord> = r.livenet.iter().filter(|s| !s.local_hit).collect();
+        assert!(!hits.is_empty());
+        assert!(!misses.is_empty());
+        let mean = |v: &[&SessionRecord]| {
+            v.iter().map(|s| f64::from(s.first_packet_ms)).sum::<f64>() / v.len() as f64
+        };
+        assert!(mean(&hits) < mean(&misses) / 2.0);
+        // Hits carry no brain response time.
+        assert!(hits.iter().all(|s| s.brain_response_ms.is_none()));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = smoke_report(7);
+        let b = smoke_report(7);
+        assert_eq!(a.livenet.len(), b.livenet.len());
+        for (x, y) in a.livenet.iter().zip(&b.livenet) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn refcounts_drain_after_run() {
+        let mut sim = FleetSim::new(FleetConfig::smoke(8));
+        sim.hier_delay = HierDelayModel::new(sim.config.hier);
+        // Run manually to inspect internal state afterwards.
+        for (ch, blocks) in sim.live_blocks.clone().into_iter().enumerate() {
+            for (start, end) in blocks {
+                sim.queue.schedule(start, Ev::StreamStart(ch));
+                sim.queue.schedule(end, Ev::StreamEnd(ch));
+            }
+        }
+        sim.queue.schedule(SimTime::from_secs(60), Ev::MinuteTick);
+        if let Some(first) = sim.workload.next_session() {
+            sim.queue.schedule(first.at, Ev::Arrival(first));
+        }
+        let horizon = sim.workload.horizon();
+        while let Some((now, ev)) = sim.queue.pop_until(horizon) {
+            match ev {
+                Ev::Arrival(spec) => {
+                    if let Some(next) = sim.workload.next_session() {
+                        sim.queue.schedule(next.at, Ev::Arrival(next));
+                    }
+                    sim.on_arrival(now, spec);
+                }
+                Ev::Departure(id) => sim.on_departure(now, id),
+                Ev::StreamStart(ch) => sim.on_stream_start(now, ch),
+                Ev::StreamEnd(ch) => sim.on_stream_end(now, ch),
+                Ev::MinuteTick => {
+                    sim.on_minute(now);
+                    sim.queue
+                        .schedule(now + SimDuration::from_secs(60), Ev::MinuteTick);
+                }
+            }
+        }
+        // After all departures + stream ends, presence should be empty and
+        // link session counts ≈ 0.
+        assert!(sim.presence.is_empty(), "{} presences leak", sim.presence.len());
+        for (&(f, t), &c) in &sim.link_sessions {
+            assert!(
+                c.abs() < 1e-6,
+                "link ({f},{t}) leaked {c} sessions"
+            );
+        }
+    }
+
+    #[test]
+    fn hourly_loss_stays_under_paper_cap() {
+        let r = smoke_report(9);
+        for &l in r.hourly_loss.iter().filter(|l| !l.is_nan()) {
+            assert!(l <= 0.00175, "loss {l}");
+            assert!(l > 0.0);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Simulation harnesses reproducing the paper's evaluation (§6).
+//!
+//! Two fidelity levels (DESIGN.md §4):
+//!
+//! * [`packetsim`] — full packet-level emulation: real [`OverlayNode`]
+//!   state machines over the discrete-event network emulator, with viewer
+//!   playback-buffer models. Used for the transmission-architecture
+//!   experiments (fast/slow-path recovery, pacing, frame dropping) and to
+//!   calibrate the per-hop constants in [`calibrate`].
+//! * [`fleet`] — session-granularity simulation of 20 days of Taobao-Live-
+//!   like workload over the *real* control plane (Streaming Brain, PIB/SIB,
+//!   FIB subscription state with cache-hit backtracking and the long-chain
+//!   effect), composing per-session delay/startup/stall metrics from link
+//!   state plus the packet-level-calibrated constants. Runs LiveNet and
+//!   the Hier baseline side by side on identical sessions, mirroring the
+//!   paper's parallel-deployment methodology (§6.1).
+//!
+//! [`OverlayNode`]: livenet_node::OverlayNode
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapter;
+pub mod calibrate;
+pub mod fleet;
+pub mod metrics;
+pub mod packetsim;
+pub mod viewer;
+pub mod workload;
+
+pub use adapter::{EmuHost, HostEvent};
+pub use calibrate::LatencyConstants;
+pub use fleet::{FleetConfig, FleetReport, FleetSim, System};
+pub use metrics::{HourlySeries, SessionRecord};
+pub use packetsim::{PacketSim, PacketSimConfig, PacketSimReport};
+pub use viewer::{PlaybackSim, ViewerQoe};
+pub use workload::{diurnal_factor, Channel, WorkloadConfig};

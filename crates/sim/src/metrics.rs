@@ -1,0 +1,222 @@
+//! Session records and aggregation helpers mirroring the paper's logs.
+//!
+//! The paper's evaluation draws on three data sources (§6.1): consumer-node
+//! logs (path length, CDN path delay, first-packet delay, local-hit flag),
+//! client logs (streaming delay, stalls, fast-startup flag), and Path
+//! Decision logs (response time). [`SessionRecord`] carries the union of
+//! these per viewing session.
+
+use livenet_types::{Ecdf, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One viewing session's metrics for one system (LiveNet or Hier).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SessionRecord {
+    /// Session start time.
+    pub start: SimTime,
+    /// Day index (0-based).
+    pub day: u32,
+    /// Hour of day (0–23).
+    pub hour: u32,
+    /// Overlay hops actually traversed (realized path, incl. long chains).
+    pub path_len: u8,
+    /// True when the viewer and broadcaster are in different countries.
+    pub international: bool,
+    /// Consumer node log: CDN path delay.
+    pub cdn_delay_ms: f32,
+    /// Client log: end-to-end streaming delay.
+    pub streaming_delay_ms: f32,
+    /// Consumer node log: first-packet delay.
+    pub first_packet_ms: f32,
+    /// Client log: startup delay (request → playback).
+    pub startup_ms: f32,
+    /// Client log: number of stalls during the view.
+    pub stalls: u16,
+    /// Consumer already had the path/stream (local hit).
+    pub local_hit: bool,
+    /// Served via a last-resort path.
+    pub last_resort: bool,
+    /// Path Decision log: response time (None on local hits).
+    pub brain_response_ms: Option<f32>,
+}
+
+impl SessionRecord {
+    /// Paper definition: startup within 1 second.
+    pub fn fast_startup(&self) -> bool {
+        self.startup_ms < 1000.0
+    }
+
+    /// Paper definition: no stalls during the view.
+    pub fn zero_stall(&self) -> bool {
+        self.stalls == 0
+    }
+}
+
+/// Accumulates a per-hour scalar series over the run (e.g. hit ratio,
+/// first-packet delay) — the shape Fig. 10 plots.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct HourlySeries {
+    sums: Vec<f64>,
+    counts: Vec<u64>,
+}
+
+impl HourlySeries {
+    /// Empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn slot(&mut self, hour_index: usize) -> usize {
+        if self.sums.len() <= hour_index {
+            self.sums.resize(hour_index + 1, 0.0);
+            self.counts.resize(hour_index + 1, 0);
+        }
+        hour_index
+    }
+
+    /// Add one observation in absolute hour `hour_index` (day*24+hour).
+    pub fn push(&mut self, hour_index: usize, value: f64) {
+        let i = self.slot(hour_index);
+        self.sums[i] += value;
+        self.counts[i] += 1;
+    }
+
+    /// Mean value per absolute hour (NaN where empty).
+    pub fn means(&self) -> Vec<f64> {
+        self.sums
+            .iter()
+            .zip(&self.counts)
+            .map(|(s, &c)| if c == 0 { f64::NAN } else { s / c as f64 })
+            .collect()
+    }
+
+    /// Observation count per hour.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Collapse to a 24-entry hour-of-day profile (mean over days).
+    pub fn hour_of_day_profile(&self) -> [f64; 24] {
+        let mut sums = [0.0f64; 24];
+        let mut counts = [0u64; 24];
+        for (i, (s, &c)) in self.sums.iter().zip(&self.counts).enumerate() {
+            sums[i % 24] += s;
+            counts[i % 24] += c;
+        }
+        let mut out = [f64::NAN; 24];
+        for h in 0..24 {
+            if counts[h] > 0 {
+                out[h] = sums[h] / counts[h] as f64;
+            }
+        }
+        out
+    }
+}
+
+/// Summary statistics over a slice of sessions — the Table 1 row set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSummary {
+    /// Number of sessions.
+    pub sessions: usize,
+    /// Median CDN path delay (ms).
+    pub median_cdn_delay_ms: f64,
+    /// Median path length (hops).
+    pub median_path_len: f64,
+    /// Median streaming delay (ms).
+    pub median_streaming_delay_ms: f64,
+    /// Fraction of sessions with zero stalls.
+    pub zero_stall_ratio: f64,
+    /// Fraction of sessions starting within 1 s.
+    pub fast_startup_ratio: f64,
+    /// Fraction of sessions with a local hit.
+    pub local_hit_ratio: f64,
+    /// Fraction of sessions on last-resort paths.
+    pub last_resort_ratio: f64,
+}
+
+/// Compute the Table-1 summary over sessions.
+pub fn summarize(sessions: &[SessionRecord]) -> SessionSummary {
+    let mut cdn = Ecdf::new();
+    let mut len = Ecdf::new();
+    let mut stream = Ecdf::new();
+    let mut zero_stall = 0usize;
+    let mut fast = 0usize;
+    let mut hits = 0usize;
+    let mut lr = 0usize;
+    for s in sessions {
+        cdn.push(f64::from(s.cdn_delay_ms));
+        len.push(f64::from(s.path_len));
+        stream.push(f64::from(s.streaming_delay_ms));
+        zero_stall += usize::from(s.zero_stall());
+        fast += usize::from(s.fast_startup());
+        hits += usize::from(s.local_hit);
+        lr += usize::from(s.last_resort);
+    }
+    let n = sessions.len().max(1);
+    SessionSummary {
+        sessions: sessions.len(),
+        median_cdn_delay_ms: cdn.median(),
+        median_path_len: len.median(),
+        median_streaming_delay_ms: stream.median(),
+        zero_stall_ratio: zero_stall as f64 / n as f64,
+        fast_startup_ratio: fast as f64 / n as f64,
+        local_hit_ratio: hits as f64 / n as f64,
+        last_resort_ratio: lr as f64 / n as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(startup: f32, stalls: u16) -> SessionRecord {
+        SessionRecord {
+            start: SimTime::ZERO,
+            day: 0,
+            hour: 0,
+            path_len: 2,
+            international: false,
+            cdn_delay_ms: 188.0,
+            streaming_delay_ms: 950.0,
+            first_packet_ms: 80.0,
+            startup_ms: startup,
+            stalls,
+            local_hit: true,
+            last_resort: false,
+            brain_response_ms: None,
+        }
+    }
+
+    #[test]
+    fn fast_startup_threshold_is_one_second() {
+        assert!(rec(999.0, 0).fast_startup());
+        assert!(!rec(1000.0, 0).fast_startup());
+    }
+
+    #[test]
+    fn summarize_ratios() {
+        let sessions = vec![rec(500.0, 0), rec(1500.0, 2), rec(700.0, 0), rec(800.0, 1)];
+        let s = summarize(&sessions);
+        assert_eq!(s.sessions, 4);
+        assert!((s.fast_startup_ratio - 0.75).abs() < 1e-9);
+        assert!((s.zero_stall_ratio - 0.5).abs() < 1e-9);
+        assert_eq!(s.median_path_len, 2.0);
+        assert_eq!(s.median_cdn_delay_ms, 188.0);
+    }
+
+    #[test]
+    fn hourly_series_means_and_profile() {
+        let mut h = HourlySeries::new();
+        h.push(0, 10.0);
+        h.push(0, 20.0);
+        h.push(25, 30.0); // day 1, hour 1
+        let means = h.means();
+        assert_eq!(means[0], 15.0);
+        assert!(means[1].is_nan());
+        assert_eq!(means[25], 30.0);
+        let profile = h.hour_of_day_profile();
+        assert_eq!(profile[0], 15.0);
+        assert_eq!(profile[1], 30.0);
+        assert!(profile[2].is_nan());
+    }
+}

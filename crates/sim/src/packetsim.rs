@@ -1,0 +1,413 @@
+//! Packet-level simulation: real overlay nodes over the emulator.
+//!
+//! Used for the transmission-architecture experiments (§5): fast/slow-path
+//! recovery under injected loss, pacing behaviour, startup bursts, and to
+//! calibrate the per-hop constants used by the fleet simulator.
+
+use crate::adapter::{client_host_id, EmuHost};
+use crate::viewer::ViewerQoe;
+use bytes::Bytes;
+use livenet_emu::{LinkConfig, LossModel, NetSim};
+use livenet_media::{GopConfig, VideoEncoder};
+use livenet_node::{NodeConfig, NodeEvent, NodeStats, OverlayNode};
+use livenet_types::{Bandwidth, ClientId, NodeId, SimDuration, SimTime, StreamId};
+
+/// One inter-node link in the simulated chain.
+#[derive(Debug, Clone, Copy)]
+pub struct ChainLink {
+    /// One-way propagation delay.
+    pub delay: SimDuration,
+    /// Random loss probability (long-run mean).
+    pub loss: f64,
+    /// Bandwidth.
+    pub bandwidth: Bandwidth,
+    /// Bursty (Gilbert–Elliott) rather than independent loss.
+    pub bursty: bool,
+}
+
+impl ChainLink {
+    /// A healthy 10 ms / 1 Gbps link.
+    pub fn healthy(delay_ms: u64) -> Self {
+        ChainLink {
+            delay: SimDuration::from_millis(delay_ms),
+            loss: 0.0,
+            bandwidth: Bandwidth::from_gbps(1),
+            bursty: false,
+        }
+    }
+
+    /// Same link with loss.
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Same link with bursty (Gilbert–Elliott) loss of the same mean.
+    pub fn with_bursty_loss(mut self, loss: f64) -> Self {
+        self.loss = loss;
+        self.bursty = true;
+        self
+    }
+}
+
+/// A viewer to attach during the run.
+#[derive(Debug, Clone, Copy)]
+pub struct ViewerSpec {
+    /// Chain node index the viewer attaches to (its consumer).
+    pub node_index: usize,
+    /// Join time.
+    pub join_at: SimTime,
+    /// Client downlink bandwidth.
+    pub downlink: Bandwidth,
+}
+
+/// Packet-level simulation configuration.
+#[derive(Debug, Clone)]
+pub struct PacketSimConfig {
+    /// Links of the chain: node 0 (producer) → 1 → … → n.
+    pub links: Vec<ChainLink>,
+    /// Video configuration.
+    pub gop: GopConfig,
+    /// Stream bitrate.
+    pub bitrate: Bandwidth,
+    /// Broadcast duration (frames stop after this).
+    pub duration: SimDuration,
+    /// Extra drain time after the last frame.
+    pub drain: SimDuration,
+    /// Viewers.
+    pub viewers: Vec<ViewerSpec>,
+    /// Client playback buffer.
+    pub player_buffer: SimDuration,
+    /// Seed for loss processes.
+    pub seed: u64,
+    /// NACK retry limit (0 disables slow-path recovery — ablation).
+    pub nack_retry_limit: u32,
+    /// Pacing gain applied while I frames drain (paper: 1.5; ablation: 1.0).
+    pub iframe_gain: f64,
+    /// Fixed pacing rate per peer (None = node default; GCC adjusts it).
+    pub pacer_rate: Option<Bandwidth>,
+    /// Serve GoP-cache startup bursts (ablation switch; default true).
+    pub startup_burst: bool,
+}
+
+impl PacketSimConfig {
+    /// The §3 example: a 3-node chain A→B→C with one viewer at C.
+    pub fn three_node_chain(loss_on_first_hop: f64, seed: u64) -> Self {
+        PacketSimConfig {
+            links: vec![
+                ChainLink::healthy(10).with_loss(loss_on_first_hop),
+                ChainLink::healthy(10),
+            ],
+            gop: GopConfig::default(),
+            bitrate: Bandwidth::from_mbps(2),
+            duration: SimDuration::from_secs(10),
+            drain: SimDuration::from_secs(2),
+            viewers: vec![ViewerSpec {
+                node_index: 2,
+                join_at: SimTime::from_millis(100),
+                downlink: Bandwidth::from_mbps(50),
+            }],
+            player_buffer: SimDuration::from_millis(300),
+            seed,
+            nack_retry_limit: 5,
+            iframe_gain: 1.5,
+            pacer_rate: None,
+            startup_burst: true,
+        }
+    }
+}
+
+/// Results of a packet-level run.
+#[derive(Debug)]
+pub struct PacketSimReport {
+    /// Per-viewer QoE.
+    pub viewers: Vec<(ClientId, ViewerQoe)>,
+    /// Detection→recovery latencies observed at any node (ms).
+    pub recovery_latencies_ms: Vec<f64>,
+    /// Capture→render frame delays at clients (ms).
+    pub frame_delays_ms: Vec<f64>,
+    /// Cumulative node stats, indexed by chain position.
+    pub node_stats: Vec<NodeStats>,
+    /// Startup bursts observed.
+    pub startup_bursts: u64,
+    /// Per-viewer completed-frame logs: (arrival, rtp timestamp, delay field).
+    pub client_frames: Vec<Vec<(livenet_types::SimTime, u32, Option<SimDuration>)>>,
+    /// Total RTP packets delivered on links (emulator counter).
+    pub link_loss_rate: f64,
+}
+
+/// The packet-level simulator.
+pub struct PacketSim {
+    config: PacketSimConfig,
+}
+
+/// The stream used by packet-level runs.
+pub const PACKET_SIM_STREAM: StreamId = StreamId(900);
+
+impl PacketSim {
+    /// New simulator.
+    pub fn new(config: PacketSimConfig) -> Self {
+        PacketSim { config }
+    }
+
+    /// Execute the run.
+    pub fn run(self) -> PacketSimReport {
+        let cfg = self.config;
+        let n_nodes = cfg.links.len() + 1;
+        let node_ids: Vec<NodeId> = (0..n_nodes as u64).map(|i| NodeId::new(i + 1)).collect();
+        let mut sim: NetSim<EmuHost> = NetSim::new(cfg.seed);
+
+        // Nodes + links.
+        for (i, &id) in node_ids.iter().enumerate() {
+            let mut ncfg = NodeConfig::new(id);
+            ncfg.nack_retry_limit = cfg.nack_retry_limit;
+            ncfg.pacer.iframe_gain = cfg.iframe_gain;
+            ncfg.startup_burst = cfg.startup_burst;
+            if let Some(rate) = cfg.pacer_rate {
+                ncfg.initial_rate = rate;
+            }
+            let mut node = OverlayNode::new(ncfg);
+            if i > 0 {
+                node.set_neighbor_rtt(node_ids[i - 1], cfg.links[i - 1].delay * 2);
+            }
+            if i < cfg.links.len() {
+                node.set_neighbor_rtt(node_ids[i + 1], cfg.links[i].delay * 2);
+            }
+            sim.add_host(id, EmuHost::node(node));
+        }
+        for (i, link) in cfg.links.iter().enumerate() {
+            let lc = LinkConfig {
+                delay: link.delay,
+                bandwidth: link.bandwidth,
+                queue_bytes: 4 << 20,
+                loss: if link.loss <= 0.0 {
+                    LossModel::None
+                } else if link.bursty {
+                    // p_bg = 0.25 → mean burst length 4 packets; solve
+                    // p_gb for the requested long-run mean with
+                    // loss_bad = 0.5: mean = pi_bad × 0.5.
+                    let pi_bad = (2.0 * link.loss).min(0.9);
+                    let p_bg = 0.25;
+                    let p_gb = p_bg * pi_bad / (1.0 - pi_bad);
+                    LossModel::GilbertElliott {
+                        p_gb,
+                        p_bg,
+                        loss_good: 0.0,
+                        loss_bad: 0.5,
+                    }
+                } else {
+                    LossModel::Bernoulli { p: link.loss }
+                },
+                jitter: SimDuration::ZERO,
+            };
+            sim.add_duplex(node_ids[i], node_ids[i + 1], lc);
+        }
+
+        // Producer.
+        let producer = node_ids[0];
+        sim.with_host(producer, |h, _| {
+            if let Some(s) = h.as_node_mut() {
+                s.node.register_producer(PACKET_SIM_STREAM, None);
+            }
+        });
+
+        // Clients + their access links.
+        let fps = cfg.gop.fps;
+        let mut client_ids = Vec::new();
+        for (ci, v) in cfg.viewers.iter().enumerate() {
+            let client = ClientId::new(ci as u64 + 1);
+            let chost = client_host_id(client);
+            client_ids.push((client, chost, *v));
+            sim.add_host(
+                chost,
+                EmuHost::client(client, v.join_at, fps, cfg.player_buffer),
+            );
+            let access = LinkConfig {
+                delay: SimDuration::from_millis(15),
+                bandwidth: v.downlink,
+                queue_bytes: 1 << 20,
+                loss: LossModel::None,
+                jitter: SimDuration::from_millis(2),
+            };
+            sim.add_duplex(node_ids[v.node_index], chost, access);
+        }
+
+        // Encoder-driven main loop: interleave frame ingest with sim time.
+        let start = SimTime::from_millis(50);
+        let mut encoder = VideoEncoder::new(PACKET_SIM_STREAM, cfg.gop, cfg.bitrate, start);
+        let end = start + cfg.duration;
+        let mut pending_viewers: Vec<(ClientId, NodeId, ViewerSpec)> = client_ids.clone();
+        pending_viewers.sort_by_key(|(_, _, v)| v.join_at);
+        let path: Vec<NodeId> = node_ids.clone();
+
+        loop {
+            let next_frame = encoder.next_capture_time();
+            let next_join = pending_viewers.first().map(|(_, _, v)| v.join_at);
+            let next = match next_join {
+                Some(j) if j < next_frame => j,
+                _ => next_frame,
+            };
+            if next >= end {
+                break;
+            }
+            sim.run_until(next);
+            if Some(next) == next_join {
+                let (client, _, v) = pending_viewers.remove(0);
+                let consumer = node_ids[v.node_index];
+                let path = path[..=v.node_index].to_vec();
+                sim.with_host(consumer, |h, ctx| {
+                    if let Some(s) = h.as_node_mut() {
+                        let mut actions = Vec::new();
+                        s.node.client_attach(
+                            ctx.now(),
+                            client,
+                            PACKET_SIM_STREAM,
+                            Some(v.downlink),
+                            Some(&path),
+                            &mut actions,
+                        );
+                        crate::adapter::apply_node_actions(s, ctx, actions);
+                    }
+                });
+            } else {
+                let frame = encoder.next_frame();
+                let payload = Bytes::from(vec![0u8; frame.size_bytes as usize]);
+                sim.with_host(producer, |h, ctx| {
+                    if let Some(s) = h.as_node_mut() {
+                        let actions = s.node.ingest_frame(ctx.now(), &frame, &payload);
+                        crate::adapter::apply_node_actions(s, ctx, actions);
+                    }
+                });
+            }
+        }
+        let finish = end + cfg.drain;
+        sim.run_until(finish);
+
+        // Harvest.
+        let mut recovery = Vec::new();
+        let mut bursts = 0;
+        let mut stats = Vec::new();
+        for &id in &node_ids {
+            let host = sim.host(id).expect("node host");
+            let state = host.as_node().expect("is node");
+            stats.push(state.node.stats);
+            for (_, e) in &state.events {
+                match e {
+                    NodeEvent::HoleRecovered { after, .. } => {
+                        recovery.push(after.as_millis_f64());
+                    }
+                    NodeEvent::StartupBurst { .. } => bursts += 1,
+                    _ => {}
+                }
+            }
+        }
+        let mut frame_delays = Vec::new();
+        let mut viewers = Vec::new();
+        let mut client_frames = Vec::new();
+        let ticks_per_sec = 90_000.0;
+        for (client, chost, _) in client_ids {
+            let host = sim.host(chost).expect("client host");
+            let state = host.as_client().expect("is client");
+            client_frames.push(state.frames.clone());
+            for &(at, ts, _) in &state.frames {
+                let capture = start.as_secs_f64() + f64::from(ts) / ticks_per_sec;
+                let delay_ms = (at.as_secs_f64() - capture) * 1000.0;
+                if delay_ms.is_finite() && delay_ms >= 0.0 {
+                    frame_delays.push(delay_ms);
+                }
+            }
+            viewers.push((client, chost));
+        }
+        // Finish clients by removing them from the sim (finish consumes).
+        let mut viewer_qoe = Vec::new();
+        for (client, chost) in viewers {
+            if let Some(host) = sim.remove_host(chost) {
+                if let Some((c, q)) = host.finish_client(finish) {
+                    assert_eq!(c, client);
+                    viewer_qoe.push((c, q));
+                }
+            }
+        }
+
+        let total = sim.total_link_stats();
+        PacketSimReport {
+            viewers: viewer_qoe,
+            recovery_latencies_ms: recovery,
+            frame_delays_ms: frame_delays,
+            node_stats: stats,
+            startup_bursts: bursts,
+            client_frames,
+            link_loss_rate: total.loss_rate(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_chain_delivers_smoothly() {
+        let report = PacketSim::new(PacketSimConfig::three_node_chain(0.0, 1)).run();
+        assert_eq!(report.viewers.len(), 1);
+        let (_, qoe) = report.viewers[0];
+        assert!(qoe.fast_startup(), "startup {:?}", qoe.startup);
+        assert_eq!(qoe.stalls, 0);
+        assert!(qoe.frames_rendered > 100, "{}", qoe.frames_rendered);
+        assert!(report.recovery_latencies_ms.is_empty());
+    }
+
+    #[test]
+    fn lossy_first_hop_recovers_via_slow_path() {
+        let report = PacketSim::new(PacketSimConfig::three_node_chain(0.02, 2)).run();
+        let (_, qoe) = report.viewers[0];
+        // Recovery happened at the relay (B NACKs A).
+        assert!(
+            !report.recovery_latencies_ms.is_empty(),
+            "no recoveries observed"
+        );
+        assert!(report.node_stats[0].rtx_served > 0, "A served no RTX");
+        // The viewer still plays through ≥95% of frames.
+        assert!(qoe.frames_rendered > 130, "{}", qoe.frames_rendered);
+        // Recovery latency ≈ scan wait + one hop RTT: well under 150 ms.
+        let mean: f64 = report.recovery_latencies_ms.iter().sum::<f64>()
+            / report.recovery_latencies_ms.len() as f64;
+        assert!(mean < 150.0, "mean recovery {mean} ms");
+    }
+
+    #[test]
+    fn mid_stream_joiner_gets_fast_startup_from_gop_cache() {
+        let mut cfg = PacketSimConfig::three_node_chain(0.0, 3);
+        // Second viewer joins 6 s in; the consumer already carries the
+        // stream, so startup is served from the GoP cache burst.
+        cfg.viewers.push(ViewerSpec {
+            node_index: 2,
+            join_at: SimTime::from_secs(6),
+            downlink: Bandwidth::from_mbps(50),
+        });
+        let report = PacketSim::new(cfg).run();
+        assert_eq!(report.viewers.len(), 2);
+        let late = &report.viewers[1].1;
+        assert!(
+            late.fast_startup(),
+            "late joiner startup {:?}",
+            late.startup
+        );
+        assert!(report.startup_bursts >= 1);
+        // The burst makes startup much faster than one full GoP (2 s).
+        assert!(late.startup.unwrap() < SimDuration::from_millis(800));
+    }
+
+    #[test]
+    fn frame_delay_is_consistent_with_hop_count() {
+        let report = PacketSim::new(PacketSimConfig::three_node_chain(0.0, 4)).run();
+        assert!(!report.frame_delays_ms.is_empty());
+        let mut sorted = report.frame_delays_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        // 2 overlay hops (10 ms each) + access 15 ms + pacing/processing;
+        // must sit well under a GoP length but above raw propagation.
+        assert!(median > 35.0, "median {median}");
+        assert!(median < 600.0, "median {median}");
+    }
+}

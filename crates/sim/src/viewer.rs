@@ -1,0 +1,355 @@
+//! Viewer playback model.
+//!
+//! Models the client side of the paper's QoE metrics: a playback buffer
+//! (300 ms in Taobao Live, §7.1), startup (first frame rendered within
+//! 1 s = "fast startup"), and stalls (the playing buffer running empty).
+
+use livenet_types::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Final QoE statistics of one view.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ViewerQoe {
+    /// Request → playback start; `None` when playback never started.
+    pub startup: Option<SimDuration>,
+    /// Number of stalls after startup.
+    pub stalls: u32,
+    /// Total time spent stalled.
+    pub stall_time: SimDuration,
+    /// Frames rendered.
+    pub frames_rendered: u64,
+}
+
+impl ViewerQoe {
+    /// The paper's fast-startup predicate.
+    pub fn fast_startup(&self) -> bool {
+        self.startup
+            .is_some_and(|s| s < SimDuration::from_secs(1))
+    }
+}
+
+/// Playback-buffer state machine driven by frame arrivals and time.
+///
+/// Media time is measured in RTP video ticks (90 kHz). Playback starts
+/// once `initial_buffer` of contiguous media is buffered; it then consumes
+/// media in real time, stalling whenever the next frame has not arrived.
+#[derive(Debug)]
+pub struct PlaybackSim {
+    request_at: SimTime,
+    ticks_per_frame: u64,
+    initial_buffer: SimDuration,
+    /// Buffered frame timestamps not yet rendered.
+    buffered: BTreeSet<u32>,
+    /// Next media timestamp to render (set at startup).
+    next_ts: Option<u32>,
+    playing: bool,
+    started_at: Option<SimTime>,
+    last_advance: SimTime,
+    stalled_since: Option<SimTime>,
+    stalls: u32,
+    stall_time: SimDuration,
+    frames_rendered: u64,
+    /// Media accumulated toward the next frame boundary while playing.
+    media_debt: SimDuration,
+}
+
+impl PlaybackSim {
+    /// New viewer that pressed play at `request_at`.
+    pub fn new(request_at: SimTime, fps: u32, initial_buffer: SimDuration) -> Self {
+        PlaybackSim {
+            request_at,
+            ticks_per_frame: 90_000 / u64::from(fps),
+            initial_buffer,
+            buffered: BTreeSet::new(),
+            next_ts: None,
+            playing: false,
+            started_at: None,
+            last_advance: request_at,
+            stalled_since: None,
+            stalls: 0,
+            stall_time: SimDuration::ZERO,
+            frames_rendered: 0,
+            media_debt: SimDuration::ZERO,
+        }
+    }
+
+    /// Frame duration in wall time.
+    fn frame_interval(&self) -> SimDuration {
+        SimDuration::from_nanos(self.ticks_per_frame * 1_000_000_000 / 90_000)
+    }
+
+    /// Buffered contiguous media ahead of the playhead.
+    fn buffered_ahead(&self) -> SimDuration {
+        let Some(start) = self.next_ts.or_else(|| self.buffered.first().copied()) else {
+            return SimDuration::ZERO;
+        };
+        let mut ts = start;
+        let mut frames = 0u64;
+        while self.buffered.contains(&ts) {
+            frames += 1;
+            ts = ts.wrapping_add(self.ticks_per_frame as u32);
+        }
+        self.frame_interval() * frames
+    }
+
+    /// A complete video frame arrived (from the depacketizer).
+    pub fn on_frame(&mut self, now: SimTime, rtp_timestamp: u32) {
+        self.advance(now);
+        // Late frames behind the playhead are useless — unless they are a
+        // timeline discontinuity (a seamless stream switch, §5.2: the new
+        // stream's RTP timeline restarts). A discontinuity resets the
+        // playhead without a stall: the consumer only flips the client
+        // once a full GoP is ready, so the buffer refills immediately.
+        if let Some(next) = self.next_ts {
+            let behind = next.wrapping_sub(rtp_timestamp);
+            if behind < 0x8000_0000 && behind != 0 {
+                let media_secs = behind as f64 / 90_000.0;
+                if media_secs > 1.5 {
+                    self.buffered.clear();
+                    self.next_ts = Some(rtp_timestamp);
+                    self.media_debt = SimDuration::ZERO;
+                    self.last_advance = now;
+                } else {
+                    return;
+                }
+            }
+        }
+        self.buffered.insert(rtp_timestamp);
+        self.maybe_start_or_resume(now);
+    }
+
+    fn maybe_start_or_resume(&mut self, now: SimTime) {
+        if self.playing {
+            return;
+        }
+        if self.buffered_ahead() >= self.initial_buffer {
+            if self.started_at.is_none() {
+                self.started_at = Some(now);
+                self.next_ts = self.buffered.first().copied();
+            }
+            if let Some(since) = self.stalled_since.take() {
+                self.stall_time += now.saturating_since(since);
+            }
+            self.playing = true;
+            self.last_advance = now;
+            self.media_debt = SimDuration::ZERO;
+        }
+    }
+
+    /// Advance wall time: consume frames, detect stalls.
+    pub fn advance(&mut self, now: SimTime) {
+        self.advance_inner(now, true);
+    }
+
+    fn advance_inner(&mut self, now: SimTime, count_stall: bool) {
+        if !self.playing {
+            self.last_advance = now;
+            return;
+        }
+        let mut budget = now.saturating_since(self.last_advance) + self.media_debt;
+        self.last_advance = now;
+        let interval = self.frame_interval();
+        while budget >= interval {
+            let Some(next) = self.next_ts else { break };
+            if self.buffered.remove(&next) {
+                self.frames_rendered += 1;
+                self.next_ts = Some(next.wrapping_add(self.ticks_per_frame as u32));
+                budget -= interval;
+            } else {
+                // Underrun: stall. The buffer actually ran dry when the
+                // remaining wall-time budget could no longer be consumed,
+                // which may be well before this call — backdate it.
+                self.playing = false;
+                if count_stall {
+                    self.stalls += 1;
+                    self.stalled_since = Some(now - budget);
+                }
+                self.media_debt = SimDuration::ZERO;
+                return;
+            }
+        }
+        self.media_debt = budget;
+    }
+
+    /// Allow playback to skip over permanently-missing frames (the
+    /// depacketizer gave up on them). If the playhead sits on a hole, it
+    /// jumps to the next buffered frame; playback resumes either when the
+    /// normal rebuffer target is met or when frames already exist *beyond*
+    /// the next hole — the hole is then known to be permanent (later data
+    /// overtook it), so a real player skips rather than waits.
+    pub fn skip_missing(&mut self, now: SimTime) {
+        self.advance(now);
+        if self.playing {
+            return;
+        }
+        // Anchor: the playhead, or (before startup) the earliest frame.
+        let Some(anchor) = self.next_ts.or_else(|| self.buffered.first().copied()) else {
+            return;
+        };
+        // Jump off a missing frame onto buffered data.
+        let anchor = if self.buffered.contains(&anchor) {
+            anchor
+        } else {
+            match self.buffered.range(anchor..).next() {
+                Some(&jump) => jump,
+                None => return,
+            }
+        };
+        if self.started_at.is_some() {
+            self.next_ts = Some(anchor);
+        }
+        self.maybe_start_or_resume(now);
+        if self.playing {
+            return;
+        }
+        // Relaxed start/resume: if data exists beyond the contiguous run
+        // ahead, the hole bounding that run is permanent (later data has
+        // already overtaken it) — play the run out rather than wait.
+        let mut run_end = anchor;
+        while self.buffered.contains(&run_end) {
+            run_end = run_end.wrapping_add(self.ticks_per_frame as u32);
+        }
+        if self.buffered.range(run_end..).next().is_some() {
+            if self.started_at.is_none() {
+                self.started_at = Some(now);
+            }
+            self.next_ts = Some(anchor);
+            if let Some(since) = self.stalled_since.take() {
+                self.stall_time += now.saturating_since(since);
+            }
+            self.playing = true;
+            self.last_advance = now;
+            self.media_debt = SimDuration::ZERO;
+        }
+    }
+
+    /// Snapshot the QoE counters at view end.
+    ///
+    /// The final buffer drain at end-of-stream is NOT a stall: a real view
+    /// ends when the broadcast (or the viewer) stops, and an empty buffer
+    /// at that point is the natural terminal state.
+    pub fn finish(mut self, now: SimTime) -> ViewerQoe {
+        self.advance_inner(now, false);
+        if let Some(since) = self.stalled_since.take() {
+            // A terminal stall only counts as a stall if playback had begun
+            // (it already incremented); accumulate its duration.
+            self.stall_time += now.saturating_since(since);
+        }
+        ViewerQoe {
+            startup: self
+                .started_at
+                .map(|s| s.saturating_since(self.request_at)),
+            stalls: self.stalls,
+            stall_time: self.stall_time,
+            frames_rendered: self.frames_rendered,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FPS: u32 = 15;
+    const TPF: u32 = 6000; // 90k / 15
+
+    fn viewer() -> PlaybackSim {
+        PlaybackSim::new(SimTime::ZERO, FPS, SimDuration::from_millis(300))
+    }
+
+    fn feed(v: &mut PlaybackSim, now_ms: u64, frame_index: u32) {
+        v.on_frame(SimTime::from_millis(now_ms), frame_index * TPF);
+    }
+
+    #[test]
+    fn playback_starts_after_initial_buffer() {
+        let mut v = viewer();
+        // 300 ms at 15 fps = 4.5 → needs 5 frames.
+        for i in 0..4 {
+            feed(&mut v, 100 + u64::from(i) * 10, i);
+        }
+        let q = |v: &PlaybackSim| v.started_at;
+        assert!(q(&v).is_none());
+        feed(&mut v, 150, 4);
+        assert_eq!(v.started_at, Some(SimTime::from_millis(150)));
+        let qoe = v.finish(SimTime::from_secs(1));
+        assert_eq!(qoe.startup, Some(SimDuration::from_millis(150)));
+        assert!(qoe.fast_startup());
+    }
+
+    #[test]
+    fn steady_arrivals_mean_no_stalls() {
+        let mut v = viewer();
+        // Frames arrive exactly at capture pace, 66.6 ms apart.
+        for i in 0..60u32 {
+            let t = 100 + u64::from(i) * 1000 / 15;
+            feed(&mut v, t, i);
+        }
+        let qoe = v.finish(SimTime::from_secs(6));
+        assert_eq!(qoe.stalls, 0);
+        assert!(qoe.frames_rendered > 50, "{}", qoe.frames_rendered);
+    }
+
+    #[test]
+    fn delivery_gap_causes_one_stall_then_recovers() {
+        let mut v = viewer();
+        for i in 0..10u32 {
+            feed(&mut v, 100 + u64::from(i) * 66, i);
+        }
+        // Gap: frames 10..20 arrive 2 s late, all at once.
+        for i in 10..30u32 {
+            feed(&mut v, 3500, i);
+        }
+        let qoe = v.finish(SimTime::from_secs(6));
+        assert_eq!(qoe.stalls, 1);
+        assert!(qoe.stall_time > SimDuration::from_secs(1));
+        assert!(qoe.frames_rendered >= 29);
+    }
+
+    #[test]
+    fn never_enough_buffer_means_no_startup() {
+        let mut v = viewer();
+        feed(&mut v, 100, 0);
+        feed(&mut v, 200, 1);
+        let qoe = v.finish(SimTime::from_secs(5));
+        assert_eq!(qoe.startup, None);
+        assert!(!qoe.fast_startup());
+        assert_eq!(qoe.stalls, 0, "pre-start buffering is not a stall");
+    }
+
+    #[test]
+    fn skip_missing_jumps_over_permanent_hole() {
+        let mut v = viewer();
+        for i in 0..6u32 {
+            feed(&mut v, 100, i);
+        }
+        // Frame 6 never arrives; 7.. do.
+        for i in 7..20u32 {
+            feed(&mut v, 120, i);
+        }
+        // Play through the buffered prefix.
+        v.advance(SimTime::from_millis(600));
+        let before = v.stalls;
+        assert!(before >= 1, "should stall at the hole");
+        v.skip_missing(SimTime::from_millis(650));
+        let qoe = v.finish(SimTime::from_secs(3));
+        assert!(qoe.frames_rendered >= 18, "{}", qoe.frames_rendered);
+    }
+
+    #[test]
+    fn late_frames_behind_playhead_are_dropped() {
+        let mut v = viewer();
+        for i in 0..10u32 {
+            feed(&mut v, 100, i);
+        }
+        v.advance(SimTime::from_millis(500)); // rendered ~6 frames
+        let rendered_before = v.frames_rendered;
+        feed(&mut v, 510, 0); // stale duplicate of frame 0
+        v.advance(SimTime::from_millis(520));
+        assert!(v.frames_rendered >= rendered_before);
+        let qoe = v.finish(SimTime::from_secs(2));
+        // Frame 0 must not have been rendered twice: 10 frames max.
+        assert!(qoe.frames_rendered <= 10);
+    }
+}

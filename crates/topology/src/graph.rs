@@ -1,0 +1,297 @@
+//! Nodes, links and the overlay graph.
+
+use livenet_types::{Bandwidth, Error, NodeId, Result, SimDuration};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Dynamically assigned role of a node in the flat CDN.
+///
+/// Unlike Hier's fixed L1/L2 tiers, any LiveNet node can serve any role, and
+/// roles are per-stream: the same node may be a producer for one stream and a
+/// relay for another (paper §1, design choice 1). The role enum therefore
+/// describes a node's function *for a given stream*, not a static class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeRole {
+    /// Receives and processes streams from broadcasters.
+    Producer,
+    /// Receives viewer requests and applies fine-grained stream control.
+    Consumer,
+    /// Interconnects producers and consumers; forwards and caches.
+    Relay,
+}
+
+/// Static + slowly-varying description of one CDN node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeInfo {
+    /// Node identity.
+    pub id: NodeId,
+    /// Country index the node resides in (inter- vs intra-national paths).
+    pub country: u32,
+    /// Total egress capacity of the cluster.
+    pub capacity: Bandwidth,
+    /// Combined load metric in [0, 1]: stream transmissions + CPU + memory
+    /// (paper §4.2 footnote 4).
+    pub utilization: f64,
+    /// Whether this node is reserved as a last-resort relay (§4.3). Such
+    /// nodes sit at well-peered locations (IXPs) and are excluded from
+    /// normal routing.
+    pub last_resort: bool,
+    /// Whether the node sits in a well-peered network (backbone PoP / IXP).
+    /// Long-haul links between two poorly-peered nodes take inefficient
+    /// BGP routes, which is why relay paths through well-peered nodes beat
+    /// direct overlay links — the effect behind the paper's 92%-of-paths-
+    /// are-2-hops distribution (Table 2).
+    pub well_peered: bool,
+}
+
+/// Measured state of a directed overlay link (from the 1-minute reports).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkMetrics {
+    /// Round-trip time between the two nodes.
+    pub rtt: SimDuration,
+    /// Packet loss rate in [0, 1].
+    pub loss: f64,
+    /// Link utilization in [0, 1].
+    pub utilization: f64,
+    /// Link capacity.
+    pub capacity: Bandwidth,
+}
+
+impl LinkMetrics {
+    /// A healthy link with the given RTT and capacity.
+    pub fn healthy(rtt: SimDuration, capacity: Bandwidth) -> Self {
+        LinkMetrics {
+            rtt,
+            loss: 0.0,
+            utilization: 0.0,
+            capacity,
+        }
+    }
+}
+
+/// The overlay graph: what exists and what was last measured.
+///
+/// Uses `BTreeMap` keyed containers so iteration order — and therefore every
+/// downstream computation (KSP tie-breaks, report order) — is deterministic.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Topology {
+    nodes: BTreeMap<NodeId, NodeInfo>,
+    links: BTreeMap<NodeId, BTreeMap<NodeId, LinkMetrics>>,
+}
+
+impl Topology {
+    /// Empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add or replace a node.
+    pub fn upsert_node(&mut self, info: NodeInfo) {
+        self.nodes.insert(info.id, info);
+    }
+
+    /// Add or replace a directed link. Both endpoints must exist.
+    pub fn upsert_link(&mut self, from: NodeId, to: NodeId, metrics: LinkMetrics) -> Result<()> {
+        if !self.nodes.contains_key(&from) {
+            return Err(Error::not_found(format!("node {from}")));
+        }
+        if !self.nodes.contains_key(&to) {
+            return Err(Error::not_found(format!("node {to}")));
+        }
+        if from == to {
+            return Err(Error::constraint("self-loop link"));
+        }
+        self.links.entry(from).or_default().insert(to, metrics);
+        Ok(())
+    }
+
+    /// Add a symmetric link pair.
+    pub fn upsert_duplex(&mut self, a: NodeId, b: NodeId, metrics: LinkMetrics) -> Result<()> {
+        self.upsert_link(a, b, metrics)?;
+        self.upsert_link(b, a, metrics)
+    }
+
+    /// Node lookup.
+    pub fn node(&self, id: NodeId) -> Option<&NodeInfo> {
+        self.nodes.get(&id)
+    }
+
+    /// Mutable node lookup (load updates).
+    pub fn node_mut(&mut self, id: NodeId) -> Option<&mut NodeInfo> {
+        self.nodes.get_mut(&id)
+    }
+
+    /// Link lookup.
+    pub fn link(&self, from: NodeId, to: NodeId) -> Option<&LinkMetrics> {
+        self.links.get(&from)?.get(&to)
+    }
+
+    /// Mutable link lookup (measurement updates).
+    pub fn link_mut(&mut self, from: NodeId, to: NodeId) -> Option<&mut LinkMetrics> {
+        self.links.get_mut(&from)?.get_mut(&to)
+    }
+
+    /// All nodes in deterministic (id) order.
+    pub fn nodes(&self) -> impl Iterator<Item = &NodeInfo> {
+        self.nodes.values()
+    }
+
+    /// Node IDs in deterministic order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    /// Non-last-resort node IDs (the routable set).
+    pub fn routable_node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .values()
+            .filter(|n| !n.last_resort)
+            .map(|n| n.id)
+    }
+
+    /// Last-resort relay node IDs.
+    pub fn last_resort_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.values().filter(|n| n.last_resort).map(|n| n.id)
+    }
+
+    /// Out-neighbors of `from` with link metrics, deterministic order.
+    pub fn neighbors(&self, from: NodeId) -> impl Iterator<Item = (NodeId, &LinkMetrics)> {
+        self.links
+            .get(&from)
+            .into_iter()
+            .flat_map(|m| m.iter().map(|(k, v)| (*k, v)))
+    }
+
+    /// All directed links `(from, to, metrics)` in deterministic order.
+    pub fn links(&self) -> impl Iterator<Item = (NodeId, NodeId, &LinkMetrics)> {
+        self.links
+            .iter()
+            .flat_map(|(f, m)| m.iter().map(move |(t, v)| (*f, *t, v)))
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of directed links.
+    pub fn link_count(&self) -> usize {
+        self.links.values().map(BTreeMap::len).sum()
+    }
+
+    /// True when broadcaster and viewer countries differ for the two nodes.
+    pub fn is_international(&self, a: NodeId, b: NodeId) -> Option<bool> {
+        Some(self.node(a)?.country != self.node(b)?.country)
+    }
+
+    /// Sum of RTTs along `path` (consecutive pairs); `None` if any link is
+    /// missing. One-way delay is approximated as RTT/2 per hop.
+    pub fn path_rtt(&self, path: &[NodeId]) -> Option<SimDuration> {
+        let mut total = SimDuration::ZERO;
+        for w in path.windows(2) {
+            total += self.link(w[0], w[1])?.rtt;
+        }
+        Some(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(id: u64, country: u32) -> NodeInfo {
+        NodeInfo {
+            id: NodeId::new(id),
+            country,
+            capacity: Bandwidth::from_gbps(10),
+            utilization: 0.0,
+            last_resort: false,
+            well_peered: false,
+        }
+    }
+
+    fn link(rtt_ms: u64) -> LinkMetrics {
+        LinkMetrics::healthy(SimDuration::from_millis(rtt_ms), Bandwidth::from_gbps(1))
+    }
+
+    #[test]
+    fn upsert_and_lookup() {
+        let mut t = Topology::new();
+        t.upsert_node(node(1, 0));
+        t.upsert_node(node(2, 1));
+        t.upsert_duplex(NodeId::new(1), NodeId::new(2), link(20)).unwrap();
+        assert_eq!(t.node_count(), 2);
+        assert_eq!(t.link_count(), 2);
+        assert_eq!(
+            t.link(NodeId::new(1), NodeId::new(2)).unwrap().rtt,
+            SimDuration::from_millis(20)
+        );
+    }
+
+    #[test]
+    fn link_requires_both_endpoints() {
+        let mut t = Topology::new();
+        t.upsert_node(node(1, 0));
+        assert!(t
+            .upsert_link(NodeId::new(1), NodeId::new(9), link(10))
+            .is_err());
+        assert!(t
+            .upsert_link(NodeId::new(9), NodeId::new(1), link(10))
+            .is_err());
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut t = Topology::new();
+        t.upsert_node(node(1, 0));
+        assert!(t
+            .upsert_link(NodeId::new(1), NodeId::new(1), link(1))
+            .is_err());
+    }
+
+    #[test]
+    fn international_detection() {
+        let mut t = Topology::new();
+        t.upsert_node(node(1, 0));
+        t.upsert_node(node(2, 0));
+        t.upsert_node(node(3, 5));
+        assert_eq!(t.is_international(NodeId::new(1), NodeId::new(2)), Some(false));
+        assert_eq!(t.is_international(NodeId::new(1), NodeId::new(3)), Some(true));
+        assert_eq!(t.is_international(NodeId::new(1), NodeId::new(99)), None);
+    }
+
+    #[test]
+    fn path_rtt_sums_links() {
+        let mut t = Topology::new();
+        for i in 1..=3 {
+            t.upsert_node(node(i, 0));
+        }
+        t.upsert_duplex(NodeId::new(1), NodeId::new(2), link(10)).unwrap();
+        t.upsert_duplex(NodeId::new(2), NodeId::new(3), link(15)).unwrap();
+        let path = [NodeId::new(1), NodeId::new(2), NodeId::new(3)];
+        assert_eq!(t.path_rtt(&path), Some(SimDuration::from_millis(25)));
+        let broken = [NodeId::new(1), NodeId::new(3)];
+        assert_eq!(t.path_rtt(&broken), None);
+    }
+
+    #[test]
+    fn routable_excludes_last_resort() {
+        let mut t = Topology::new();
+        t.upsert_node(node(1, 0));
+        let mut lr = node(2, 0);
+        lr.last_resort = true;
+        t.upsert_node(lr);
+        assert_eq!(t.routable_node_ids().count(), 1);
+        assert_eq!(t.last_resort_ids().count(), 1);
+    }
+
+    #[test]
+    fn iteration_is_deterministic() {
+        let mut t = Topology::new();
+        for i in [5, 3, 9, 1] {
+            t.upsert_node(node(i, 0));
+        }
+        let ids: Vec<u64> = t.node_ids().map(NodeId::raw).collect();
+        assert_eq!(ids, vec![1, 3, 5, 9]);
+    }
+}

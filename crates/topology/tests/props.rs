@@ -1,0 +1,84 @@
+//! Property-based tests for the geo-topology generator.
+
+use livenet_topology::{GeoConfig, GeoTopology};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = GeoConfig> {
+    (2u32..8, 6u32..30, 0u32..4, any::<u64>()).prop_map(
+        |(countries, nodes, last_resort, seed)| GeoConfig {
+            countries,
+            nodes: nodes.max(countries), // every country needs a node
+            last_resort_nodes: last_resort,
+            seed,
+            ..GeoConfig::paper_scale(seed)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The generator always produces a full mesh with positive RTTs,
+    /// symmetric link existence, and loss under the paper's cap.
+    #[test]
+    fn generated_topology_wellformed(cfg in arb_config()) {
+        let g = GeoTopology::generate(&cfg);
+        let t = &g.topology;
+        let n = (cfg.nodes + cfg.last_resort_nodes) as usize;
+        prop_assert_eq!(t.node_count(), n);
+        prop_assert_eq!(t.link_count(), n * (n - 1));
+        for (a, b, m) in t.links() {
+            prop_assert!(m.rtt.as_nanos() > 0);
+            prop_assert!(m.loss >= 0.0 && m.loss < 0.0045);
+            prop_assert!(t.link(b, a).is_some(), "asymmetric mesh");
+        }
+        prop_assert_eq!(t.last_resort_ids().count(), cfg.last_resort_nodes as usize);
+    }
+
+    /// Every country hosts at least one node and one well-peered hub.
+    #[test]
+    fn every_country_covered(cfg in arb_config()) {
+        let g = GeoTopology::generate(&cfg);
+        for c in 0..cfg.countries {
+            let in_country: Vec<_> = g
+                .topology
+                .nodes()
+                .filter(|n| n.country == c && !n.last_resort)
+                .collect();
+            prop_assert!(!in_country.is_empty(), "country {c} empty");
+            prop_assert!(
+                in_country.iter().any(|n| n.well_peered),
+                "country {c} has no hub"
+            );
+        }
+    }
+
+    /// Same seed → identical topology; different seed → different RTTs.
+    #[test]
+    fn seed_determinism(cfg in arb_config()) {
+        let a = GeoTopology::generate(&cfg);
+        let b = GeoTopology::generate(&cfg);
+        for (f, t, m) in a.topology.links() {
+            prop_assert_eq!(b.topology.link(f, t).unwrap(), m);
+        }
+    }
+
+    /// Intra-national mean RTT is below inter-national mean RTT whenever
+    /// both kinds exist.
+    #[test]
+    fn locality_gradient(cfg in arb_config()) {
+        prop_assume!(cfg.countries >= 2);
+        let g = GeoTopology::generate(&cfg);
+        let (mut intra, mut ni) = (0.0, 0u32);
+        let (mut inter, mut ne) = (0.0, 0u32);
+        for (f, t, m) in g.topology.links() {
+            match g.topology.is_international(f, t) {
+                Some(true) => { inter += m.rtt.as_millis_f64(); ne += 1; }
+                Some(false) => { intra += m.rtt.as_millis_f64(); ni += 1; }
+                None => {}
+            }
+        }
+        prop_assume!(ni > 0 && ne > 0);
+        prop_assert!(intra / f64::from(ni) < inter / f64::from(ne));
+    }
+}

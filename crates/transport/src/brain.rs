@@ -1,0 +1,79 @@
+//! In-process Streaming Brain handle.
+//!
+//! Wraps the Brain behind a cheap `Arc<Mutex<…>>` so UDP overlay nodes and
+//! driver code can register streams and request paths concurrently, the
+//! way consumer nodes call the Path Decision module (§4.4). The RPC layer
+//! is deliberately out of scope here: the transport crate demonstrates the
+//! data plane over real sockets; control-plane behaviour (PIB/SIB,
+//! invalidation, recompute) is the `livenet-brain` crate.
+
+use livenet_brain::{PathLookup, StreamingBrain};
+use livenet_types::{NodeId, Result, SimTime, StreamId};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Shared handle to a Streaming Brain instance.
+#[derive(Clone)]
+pub struct BrainHandle {
+    inner: Arc<Mutex<StreamingBrain>>,
+}
+
+impl BrainHandle {
+    /// Wrap a brain.
+    pub fn new(brain: StreamingBrain) -> Self {
+        BrainHandle {
+            inner: Arc::new(Mutex::new(brain)),
+        }
+    }
+
+    /// Register a stream at its producer.
+    pub fn register_stream(&self, stream: StreamId, producer: NodeId) {
+        self.inner.lock().register_stream(stream, producer);
+    }
+
+    /// Unregister a finished stream.
+    pub fn unregister_stream(&self, stream: StreamId) {
+        self.inner.lock().unregister_stream(stream);
+    }
+
+    /// Path request (Algorithm 1's GetPath).
+    pub fn path_request(
+        &self,
+        stream: StreamId,
+        consumer: NodeId,
+        now: SimTime,
+    ) -> Result<PathLookup> {
+        self.inner.lock().path_request(stream, consumer, now)
+    }
+
+    /// Periodic recompute entry point.
+    pub fn maybe_recompute(&self, now: SimTime) -> bool {
+        self.inner.lock().maybe_recompute(now)
+    }
+
+    /// Run a closure against the brain (reports, telemetry).
+    pub fn with<R>(&self, f: impl FnOnce(&mut StreamingBrain) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use livenet_brain::BrainConfig;
+    use livenet_topology::{GeoConfig, GeoTopology};
+
+    #[test]
+    fn handle_shares_one_brain() {
+        let geo = GeoTopology::generate(&GeoConfig::tiny(1));
+        let nodes: Vec<NodeId> = geo.topology.routable_node_ids().collect();
+        let h = BrainHandle::new(StreamingBrain::new(geo.topology, BrainConfig::default()));
+        let h2 = h.clone();
+        let s = StreamId::new(5);
+        h.register_stream(s, nodes[0]);
+        let lookup = h2.path_request(s, nodes[3], SimTime::ZERO).unwrap();
+        assert!(!lookup.paths.is_empty());
+        h2.unregister_stream(s);
+        assert!(h.path_request(s, nodes[3], SimTime::ZERO).is_err());
+    }
+}

@@ -1,0 +1,27 @@
+//! Tokio driver for the LiveNet data plane.
+//!
+//! The overlay node in `livenet-node` is a sans-I/O state machine; the
+//! discrete-event emulator drives it in simulations, and this crate drives
+//! the *same* core over real UDP sockets with the tokio runtime — the
+//! structure the networking guides prescribe (protocol core + I/O driver).
+//!
+//! [`UdpOverlayNode`] owns one socket and one [`OverlayNode`]; incoming
+//! datagrams and due timers are fed to the core, and the core's actions
+//! (sends, new timers) are executed. Wall-clock time is mapped onto
+//! [`SimTime`] relative to a per-process epoch, so the protocol core never
+//! notices it left the simulator.
+//!
+//! A lightweight in-process [`BrainHandle`] wraps the Streaming Brain for
+//! path lookups from driver code (in production this is an RPC; the
+//! control-plane protocol itself is exercised by `livenet-brain`'s tests).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod brain;
+pub mod clock;
+pub mod node;
+
+pub use brain::BrainHandle;
+pub use clock::WallClock;
+pub use node::{NodeCommand, NodeHandle, UdpOverlayNode};

@@ -1,0 +1,250 @@
+//! A UDP overlay node: the sans-I/O core + a tokio event loop.
+
+use crate::clock::WallClock;
+use bytes::Bytes;
+use livenet_media::{EncodedFrame, SimulcastLadder};
+use livenet_node::{NodeAction, NodeConfig, NodeEvent, OverlayNode, Subscriber};
+use livenet_types::{Bandwidth, ClientId, NodeId, SimDuration, SimTime, StreamId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::net::SocketAddr;
+use tokio::net::UdpSocket;
+use tokio::sync::mpsc;
+
+/// Commands accepted by a running node.
+#[derive(Debug)]
+pub enum NodeCommand {
+    /// Declare this node the producer of a stream.
+    RegisterProducer {
+        /// The stream.
+        stream: StreamId,
+        /// Optional simulcast ladder for consumer-side selection.
+        ladder: Option<SimulcastLadder>,
+    },
+    /// Ingest one encoded frame from a local broadcaster.
+    Ingest {
+        /// Frame metadata.
+        frame: EncodedFrame,
+        /// Encoded payload.
+        payload: Bytes,
+    },
+    /// Register a peer overlay node's address.
+    AddPeer {
+        /// Peer id.
+        node: NodeId,
+        /// Peer socket address.
+        addr: SocketAddr,
+        /// RTT hint for the delay field.
+        rtt: SimDuration,
+    },
+    /// Attach a viewer client (delivery over UDP to `addr`).
+    ClientAttach {
+        /// Client id.
+        client: ClientId,
+        /// Requested stream.
+        stream: StreamId,
+        /// Estimated downlink.
+        downlink: Option<Bandwidth>,
+        /// Producer-first path for reverse subscription (None = local hit
+        /// expected).
+        path: Option<Vec<NodeId>>,
+        /// Where to send the client's packets.
+        addr: SocketAddr,
+    },
+    /// Detach a viewer.
+    ClientDetach {
+        /// Client id.
+        client: ClientId,
+    },
+    /// Stop the event loop.
+    Shutdown,
+}
+
+/// Handle to a spawned node.
+#[derive(Debug, Clone)]
+pub struct NodeHandle {
+    tx: mpsc::Sender<NodeCommand>,
+    /// The node's bound socket address.
+    pub addr: SocketAddr,
+    /// The node's overlay id.
+    pub id: NodeId,
+}
+
+impl NodeHandle {
+    /// Send a command; panics if the node has shut down (test-friendly).
+    pub async fn send(&self, cmd: NodeCommand) {
+        self.tx.send(cmd).await.expect("node task alive");
+    }
+}
+
+/// The tokio driver around one [`OverlayNode`].
+pub struct UdpOverlayNode {
+    core: OverlayNode,
+    socket: UdpSocket,
+    clock: WallClock,
+    peers: HashMap<NodeId, SocketAddr>,
+    peer_of_addr: HashMap<SocketAddr, NodeId>,
+    clients: HashMap<ClientId, SocketAddr>,
+    timers: BinaryHeap<Reverse<(SimTime, u64)>>,
+    rx: mpsc::Receiver<NodeCommand>,
+    /// Instrumentation events observed (bounded ring would be production
+    /// behaviour; tests drain it via the returned channel).
+    events_tx: mpsc::UnboundedSender<(SimTime, NodeEvent)>,
+}
+
+impl UdpOverlayNode {
+    /// Bind a socket and spawn the node's event loop.
+    ///
+    /// Returns the handle, an event stream, and the join handle.
+    pub async fn spawn(
+        config: NodeConfig,
+        bind: SocketAddr,
+        clock: WallClock,
+    ) -> std::io::Result<(
+        NodeHandle,
+        mpsc::UnboundedReceiver<(SimTime, NodeEvent)>,
+        tokio::task::JoinHandle<OverlayNode>,
+    )> {
+        let socket = UdpSocket::bind(bind).await?;
+        let addr = socket.local_addr()?;
+        let id = config.id;
+        let (tx, rx) = mpsc::channel(256);
+        let (events_tx, events_rx) = mpsc::unbounded_channel();
+        let mut node = UdpOverlayNode {
+            core: OverlayNode::new(config),
+            socket,
+            clock,
+            peers: HashMap::new(),
+            peer_of_addr: HashMap::new(),
+            clients: HashMap::new(),
+            timers: BinaryHeap::new(),
+            rx,
+            events_tx,
+        };
+        let join = tokio::spawn(async move {
+            node.run().await;
+            node.core
+        });
+        Ok((NodeHandle { tx, addr, id }, events_rx, join))
+    }
+
+    async fn run(&mut self) {
+        let start_actions = self.core.start(self.clock.now());
+        self.apply(start_actions).await;
+        let mut buf = vec![0u8; 2048];
+        loop {
+            let next_timer = self.timers.peek().map(|Reverse((t, _))| *t);
+            let sleep_until = next_timer
+                .map(|t| self.clock.instant_at(t))
+                .unwrap_or_else(|| {
+                    self.clock.instant_at(self.clock.now() + SimDuration::from_secs(3600))
+                });
+            tokio::select! {
+                biased;
+                cmd = self.rx.recv() => {
+                    match cmd {
+                        None | Some(NodeCommand::Shutdown) => return,
+                        Some(cmd) => self.handle_command(cmd).await,
+                    }
+                }
+                recv = self.socket.recv_from(&mut buf) => {
+                    if let Ok((len, src)) = recv {
+                        if let Some(&from) = self.peer_of_addr.get(&src) {
+                            let payload = Bytes::copy_from_slice(&buf[..len]);
+                            let now = self.clock.now();
+                            let actions = self.core.on_datagram(now, from, payload);
+                            self.apply(actions).await;
+                        }
+                    }
+                }
+                _ = tokio::time::sleep_until(sleep_until) => {
+                    self.fire_due_timers().await;
+                }
+            }
+        }
+    }
+
+    async fn fire_due_timers(&mut self) {
+        let now = self.clock.now();
+        let mut due = Vec::new();
+        while let Some(&Reverse((t, key))) = self.timers.peek() {
+            if t <= now {
+                self.timers.pop();
+                due.push(key);
+            } else {
+                break;
+            }
+        }
+        for key in due {
+            let actions = self.core.on_timer(self.clock.now(), key);
+            self.apply(actions).await;
+        }
+    }
+
+    async fn handle_command(&mut self, cmd: NodeCommand) {
+        let now = self.clock.now();
+        match cmd {
+            NodeCommand::RegisterProducer { stream, ladder } => {
+                self.core.register_producer(stream, ladder);
+            }
+            NodeCommand::Ingest { frame, payload } => {
+                let actions = self.core.ingest_frame(now, &frame, &payload);
+                self.apply(actions).await;
+            }
+            NodeCommand::AddPeer { node, addr, rtt } => {
+                self.peers.insert(node, addr);
+                self.peer_of_addr.insert(addr, node);
+                self.core.set_neighbor_rtt(node, rtt);
+            }
+            NodeCommand::ClientAttach {
+                client,
+                stream,
+                downlink,
+                path,
+                addr,
+            } => {
+                self.clients.insert(client, addr);
+                let mut actions = Vec::new();
+                self.core.client_attach(
+                    now,
+                    client,
+                    stream,
+                    downlink,
+                    path.as_deref(),
+                    &mut actions,
+                );
+                self.apply(actions).await;
+            }
+            NodeCommand::ClientDetach { client } => {
+                let mut actions = Vec::new();
+                self.core.client_detach(now, client, &mut actions);
+                self.clients.remove(&client);
+                self.apply(actions).await;
+            }
+            NodeCommand::Shutdown => {}
+        }
+    }
+
+    async fn apply(&mut self, actions: Vec<NodeAction>) {
+        for action in actions {
+            match action {
+                NodeAction::Send { to, msg } => {
+                    let dest = match to {
+                        Subscriber::Node(n) => self.peers.get(&n).copied(),
+                        Subscriber::Client(c) => self.clients.get(&c).copied(),
+                    };
+                    if let Some(addr) = dest {
+                        // Best-effort, like the fast path demands.
+                        let _ = self.socket.send_to(&msg.encode(), addr).await;
+                    }
+                }
+                NodeAction::SetTimer { at, key } => {
+                    self.timers.push(Reverse((at, key)));
+                }
+                NodeAction::Event(e) => {
+                    let _ = self.events_tx.send((self.clock.now(), e));
+                }
+            }
+        }
+    }
+}

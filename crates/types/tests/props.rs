@@ -1,0 +1,103 @@
+//! Property-based tests for the core vocabulary types.
+
+use livenet_types::{Bandwidth, DetRng, Ecdf, OnlineStats, SeqNo, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Serial-number arithmetic: add then distance inverts (within range).
+    #[test]
+    fn seqno_add_distance_roundtrip(base: u16, step in 0u16..0x7FFF) {
+        let a = SeqNo(base);
+        let b = a.add(step);
+        prop_assert_eq!(b.distance(a), i32::from(step));
+        prop_assert_eq!(a.distance(b), -i32::from(step));
+    }
+
+    /// newer_than is antisymmetric for distinct, in-range values.
+    #[test]
+    fn seqno_newer_than_antisymmetric(base: u16, step in 1u16..0x7FFF) {
+        let a = SeqNo(base);
+        let b = a.add(step);
+        prop_assert!(b.newer_than(a));
+        prop_assert!(!a.newer_than(b));
+    }
+
+    /// Quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn ecdf_quantiles_monotone(mut xs in prop::collection::vec(-1e9f64..1e9, 1..200)) {
+        let mut e = Ecdf::new();
+        e.extend(xs.iter().copied());
+        let qs: Vec<f64> = (0..=10).map(|i| e.quantile(i as f64 / 10.0)).collect();
+        for w in qs.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(qs[0], xs[0]);
+        prop_assert_eq!(qs[10], *xs.last().unwrap());
+    }
+
+    /// CDF is a valid distribution function: in [0,1], 1 at max.
+    #[test]
+    fn ecdf_cdf_valid(xs in prop::collection::vec(-1e6f64..1e6, 1..200), probe in -2e6f64..2e6) {
+        let mut e = Ecdf::new();
+        e.extend(xs.iter().copied());
+        let f = e.cdf_at(probe);
+        prop_assert!((0.0..=1.0).contains(&f));
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(e.cdf_at(max), 1.0);
+    }
+
+    /// OnlineStats merge is equivalent to a single pass.
+    #[test]
+    fn online_stats_merge_equivalence(
+        a in prop::collection::vec(-1e6f64..1e6, 0..100),
+        b in prop::collection::vec(-1e6f64..1e6, 0..100),
+    ) {
+        let mut whole = OnlineStats::new();
+        for &x in a.iter().chain(&b) { whole.push(x); }
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for &x in &a { left.push(x); }
+        for &x in &b { right.push(x); }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        if whole.count() > 0 {
+            prop_assert!((left.mean() - whole.mean()).abs() < 1e-6);
+            prop_assert!((left.variance() - whole.variance()).abs() < 1.0);
+        }
+    }
+
+    /// Bandwidth: transmission_time and bytes_in are inverse-ish.
+    #[test]
+    fn bandwidth_roundtrip(kbps in 1u64..10_000_000, bytes in 1usize..10_000_000) {
+        let bw = Bandwidth::from_kbps(kbps);
+        let t = bw.transmission_time(bytes);
+        let back = bw.bytes_in(t);
+        // Within rounding of one nanosecond's worth of bytes.
+        let tolerance = (kbps as f64 * 1000.0 / 8.0 / 1e9).ceil() as i64 + 1;
+        prop_assert!((back as i64 - bytes as i64).abs() <= tolerance,
+            "bytes={bytes} back={back} tol={tolerance}");
+    }
+
+    /// SimTime arithmetic is consistent.
+    #[test]
+    fn time_arithmetic(a in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let t = SimTime::from_nanos(a);
+        let dur = SimDuration::from_nanos(d);
+        prop_assert_eq!((t + dur) - t, dur);
+        prop_assert_eq!((t + dur) - dur, t);
+        prop_assert_eq!(t.saturating_since(t + dur), SimDuration::ZERO);
+    }
+
+    /// DetRng forks are reproducible and chance() respects bounds.
+    #[test]
+    fn detrng_reproducible(seed: u64, label in "[a-z]{1,8}") {
+        let mut a = DetRng::seed(seed).fork(&label);
+        let mut b = DetRng::seed(seed).fork(&label);
+        for _ in 0..16 {
+            prop_assert_eq!(a.u64(), b.u64());
+        }
+        prop_assert!(!a.chance(0.0));
+        prop_assert!(a.chance(1.0));
+    }
+}
