@@ -1,0 +1,79 @@
+//! Fleet-runner throughput bench: serial vs parallel sharded execution.
+//!
+//! Runs the smoke workload through [`FleetRunner::run_serial`] and
+//! [`FleetRunner::run_parallel`], verifies the two reports are
+//! bit-identical, and writes `BENCH_fleet.json` (sessions/sec for both
+//! modes, speedup, peak RSS) to the current directory.
+//!
+//! ```sh
+//! cargo run --release --bin bench_fleet [-- --threads 8]
+//! ```
+
+use livenet_bench::SEED;
+use livenet_sim::{FleetConfigBuilder, FleetRunner};
+use std::time::Instant;
+
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest.trim().trim_end_matches("kB").trim().parse().ok();
+        }
+    }
+    None
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut threads = 8usize;
+    let mut i = 1;
+    while i < args.len() {
+        if args[i] == "--threads" {
+            if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                threads = v;
+                i += 1;
+            }
+        }
+        i += 1;
+    }
+
+    let cfg = FleetConfigBuilder::smoke(SEED)
+        .build()
+        .expect("smoke preset is valid");
+    let shards = cfg.shards;
+    let runner = FleetRunner::new(cfg).expect("config already validated");
+
+    println!("bench_fleet: smoke workload, {shards} shards, {threads} threads");
+
+    let t0 = Instant::now();
+    let serial = runner.run_serial();
+    let serial_secs = t0.elapsed().as_secs_f64();
+    let sessions = serial.livenet.len();
+    println!(
+        "serial:   {sessions} sessions in {serial_secs:.3}s ({:.0}/s)",
+        sessions as f64 / serial_secs
+    );
+
+    let t1 = Instant::now();
+    let parallel = runner.run_parallel(threads);
+    let parallel_secs = t1.elapsed().as_secs_f64();
+    println!(
+        "parallel: {} sessions in {parallel_secs:.3}s ({:.0}/s)",
+        parallel.livenet.len(),
+        parallel.livenet.len() as f64 / parallel_secs
+    );
+
+    let identical = serial.bit_identical(&parallel);
+    let speedup = serial_secs / parallel_secs;
+    let rss_kb = peak_rss_kb().unwrap_or(0);
+    println!("speedup: {speedup:.2}x, bit-identical: {identical}, peak RSS: {rss_kb} kB");
+    assert!(identical, "parallel run diverged from serial");
+
+    let json = format!(
+        "{{\n  \"bench\": \"fleet_sharded\",\n  \"seed\": {SEED},\n  \"shards\": {shards},\n  \"threads\": {threads},\n  \"sessions\": {sessions},\n  \"serial_secs\": {serial_secs:.4},\n  \"parallel_secs\": {parallel_secs:.4},\n  \"serial_sessions_per_sec\": {:.1},\n  \"parallel_sessions_per_sec\": {:.1},\n  \"speedup\": {speedup:.3},\n  \"bit_identical\": {identical},\n  \"peak_rss_kb\": {rss_kb}\n}}\n",
+        sessions as f64 / serial_secs,
+        sessions as f64 / parallel_secs,
+    );
+    std::fs::write("BENCH_fleet.json", &json).expect("write BENCH_fleet.json");
+    println!("wrote BENCH_fleet.json");
+}

@@ -11,7 +11,7 @@
 
 use livenet_bench::{cli_config, median, print_table, ratio_pct, run};
 use livenet_brain::WeightParams;
-use livenet_sim::FleetConfig;
+use livenet_sim::FleetConfigBuilder;
 
 struct Variant {
     name: &'static str,
@@ -33,21 +33,26 @@ fn main() {
     ];
     let mut rows = Vec::new();
     for v in &variants {
-        let mut cfg: FleetConfig = cli_config();
-        cfg.workload.days = cfg.workload.days.min(3);
-        cfg.workload.festival_days = vec![];
-        cfg.brain.routing.k = v.k;
-        cfg.brain.routing.max_hops = v.max_hops;
-        if v.max_hops > 3 {
-            // Hop limits above 3 leave the O(n³) mesh enumerator and fall
-            // back to per-pair Yen KSP; recompute hourly to keep the
-            // ablation tractable (the PIB barely changes at low load).
-            cfg.brain.routing.period_secs = 3600;
-        }
-        cfg.brain.routing.weight = WeightParams {
-            alpha: v.alpha,
-            ..WeightParams::default()
-        };
+        let cfg = FleetConfigBuilder::from_config(cli_config())
+            .tweak(|c| {
+                c.workload.days = c.workload.days.min(3);
+                c.workload.festival_days = vec![];
+                c.brain.routing.k = v.k;
+                c.brain.routing.max_hops = v.max_hops;
+                if v.max_hops > 3 {
+                    // Hop limits above 3 leave the O(n³) mesh enumerator and
+                    // fall back to per-pair Yen KSP; recompute hourly to keep
+                    // the ablation tractable (the PIB barely changes at low
+                    // load).
+                    c.brain.routing.period_secs = 3600;
+                }
+                c.brain.routing.weight = WeightParams {
+                    alpha: v.alpha,
+                    ..WeightParams::default()
+                };
+            })
+            .build()
+            .expect("ablation variant config is valid");
         let report = run(cfg);
         let ln = &report.livenet;
         let inter: Vec<livenet_sim::SessionRecord> =

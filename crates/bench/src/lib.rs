@@ -11,7 +11,9 @@
 
 pub mod render;
 
-use livenet_sim::{FleetConfig, FleetReport, FleetSim, SessionRecord};
+use livenet_sim::{
+    FleetConfig, FleetConfigBuilder, FleetReport, FleetRunner, FleetSim, SessionRecord,
+};
 use livenet_types::Ecdf;
 
 /// The canonical experiment seed.
@@ -22,36 +24,41 @@ pub const SEED: u64 = 20221122;
 /// 20 days, Double-12 festival on days 10–11, 60 nodes / 12 countries
 /// (the paper's 600+ nodes / 70+ countries scaled ~10×; DESIGN.md §1).
 pub fn paper_config(scale: f64) -> FleetConfig {
-    let mut cfg = FleetConfig::default();
-    cfg.geo.seed = SEED;
-    cfg.workload.seed = SEED;
-    cfg.workload.peak_arrivals_per_sec *= scale;
-    cfg
+    FleetConfigBuilder::paper_scale(SEED)
+        .tweak(|c| c.workload.peak_arrivals_per_sec *= scale)
+        .build()
+        .expect("paper-scale preset is valid")
 }
 
-/// Parse `--scale <f>` and `--days <n>` from argv.
+/// Parse `--scale <f>`, `--days <n>`, `--seed <s>` and `--shards <n>`
+/// from argv, validating the result.
 pub fn cli_config() -> FleetConfig {
     let args: Vec<String> = std::env::args().collect();
-    let mut cfg = paper_config(1.0);
+    let mut b = FleetConfigBuilder::paper_scale(SEED);
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
                 if let Some(v) = args.get(i + 1).and_then(|s| s.parse::<f64>().ok()) {
-                    cfg.workload.peak_arrivals_per_sec *= v;
+                    b = b.tweak(|c| c.workload.peak_arrivals_per_sec *= v);
                     i += 1;
                 }
             }
             "--days" => {
                 if let Some(v) = args.get(i + 1).and_then(|s| s.parse::<u32>().ok()) {
-                    cfg.workload.days = v;
+                    b = b.days(v);
                     i += 1;
                 }
             }
             "--seed" => {
                 if let Some(v) = args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
-                    cfg.geo.seed = v;
-                    cfg.workload.seed = v;
+                    b = b.seed(v);
+                    i += 1;
+                }
+            }
+            "--shards" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+                    b = b.shards(v);
                     i += 1;
                 }
             }
@@ -59,12 +66,23 @@ pub fn cli_config() -> FleetConfig {
         }
         i += 1;
     }
-    cfg
+    b.build().expect("invalid command-line configuration")
 }
 
-/// Run the fleet simulation for a config.
+/// Run the fleet simulation for a config (the legacy monolith path — the
+/// canonical sample path the `exp_*` tables are quoted against).
 pub fn run(cfg: FleetConfig) -> FleetReport {
     FleetSim::new(cfg).run()
+}
+
+/// Run the fleet simulation sharded across `threads` worker threads.
+///
+/// The result depends on `cfg.shards` but not on `threads` — see
+/// [`FleetRunner`].
+pub fn run_sharded(cfg: FleetConfig, threads: usize) -> FleetReport {
+    FleetRunner::new(cfg)
+        .expect("config validated by the builder")
+        .run_parallel(threads)
 }
 
 /// Print a header shared by all experiment binaries.

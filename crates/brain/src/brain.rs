@@ -6,7 +6,7 @@
 //! served from the PIB with overload filtering, and popular broadcasters
 //! get their paths prefetched to all nodes.
 
-use crate::decision::{PathDecision, PathLookup};
+use crate::decision::{PathAssignment, PathDecision};
 use crate::discovery::{GlobalDiscovery, OverloadAlarm};
 use crate::routing::{GlobalRouting, RoutingConfig};
 use livenet_topology::{NodeReport, Topology};
@@ -57,8 +57,27 @@ impl StreamingBrain {
 
     /// Mutable topology access — used by simulations that own ground truth
     /// (e.g. scaling capacity up for the Double-12 festival, §6.5).
+    #[deprecated(
+        since = "0.1.0",
+        note = "leaks mutable internals and leaves the PIB stale; use \
+                `update_topology`, which re-validates routing state on exit"
+    )]
     pub fn topology_mut(&mut self) -> &mut Topology {
         &mut self.topology
+    }
+
+    /// Scoped mutation of the Brain's working topology.
+    ///
+    /// Runs `f` against the topology, then invalidates the routing state
+    /// derived from the old topology by recomputing the PIB in place (at
+    /// the last recompute's timestamp, so the 10-minute periodic schedule
+    /// is unaffected). This replaces the deprecated [`Self::topology_mut`],
+    /// which let callers edit links/nodes while stale paths kept serving.
+    pub fn update_topology<R>(&mut self, f: impl FnOnce(&mut Topology) -> R) -> R {
+        let out = f(&mut self.topology);
+        let at = self.last_recompute.unwrap_or(SimTime::ZERO);
+        self.force_recompute(at);
+        out
     }
 
     /// Routing module (constraint predicate, config).
@@ -128,20 +147,16 @@ impl StreamingBrain {
         stream: StreamId,
         new_producer: NodeId,
         now: SimTime,
-    ) -> Result<crate::decision::PathLookup> {
+    ) -> Result<PathAssignment> {
         let old = self
             .decision
             .sib
             .producer_of(stream)
             .ok_or_else(|| livenet_types::Error::not_found(format!("stream {stream}")))?;
         self.decision.sib.register(stream, new_producer);
-        if old == new_producer {
-            return self.path_request(stream, old, now);
-        }
         // Path from the NEW producer to the OLD one (the old producer acts
         // as a consumer of the re-homed stream).
-        self.decision
-            .get_path(stream, old, &self.routing, &self.topology, now)
+        self.path_request(stream, old, now)
     }
 
     /// Stream Management: a stream ended.
@@ -156,14 +171,19 @@ impl StreamingBrain {
     }
 
     /// Serve a path request from a consumer node (Algorithm 1 `GetPath`).
+    ///
+    /// Returns the unified [`PathAssignment`] shape shared with
+    /// [`Self::prefetch_paths`] and [`Self::rehome_producer`].
     pub fn path_request(
         &mut self,
         stream: StreamId,
         consumer: NodeId,
         now: SimTime,
-    ) -> Result<PathLookup> {
-        self.decision
-            .get_path(stream, consumer, &self.routing, &self.topology, now)
+    ) -> Result<PathAssignment> {
+        let lookup = self
+            .decision
+            .get_path(stream, consumer, &self.routing, &self.topology, now)?;
+        Ok(PathAssignment::from_lookup(stream, consumer, lookup))
     }
 
     /// Mark a broadcaster's stream as popular (historical viewing stats or
@@ -179,25 +199,21 @@ impl StreamingBrain {
 
     /// Build the proactive prefetch set for a popular stream: the best path
     /// to *every* routable node, pushed before any viewer arrives (§4.4).
-    pub fn prefetch_paths(
-        &mut self,
-        stream: StreamId,
-        now: SimTime,
-    ) -> Vec<(NodeId, PathLookup)> {
+    ///
+    /// Each entry carries its consumer inside the [`PathAssignment`] — the
+    /// same shape [`Self::path_request`] serves on demand.
+    pub fn prefetch_paths(&mut self, stream: StreamId, now: SimTime) -> Vec<PathAssignment> {
         if !self.popular.contains(&stream) {
             return Vec::new();
         }
         let consumers: Vec<NodeId> = self.topology.routable_node_ids().collect();
         let mut out = Vec::new();
         for consumer in consumers {
-            if let Ok(lookup) = self.decision.get_path(
-                stream,
-                consumer,
-                &self.routing,
-                &self.topology,
-                now,
-            ) {
-                out.push((consumer, lookup));
+            if let Ok(lookup) =
+                self.decision
+                    .get_path(stream, consumer, &self.routing, &self.topology, now)
+            {
+                out.push(PathAssignment::from_lookup(stream, consumer, lookup));
             }
         }
         out
@@ -298,8 +314,48 @@ mod tests {
         b.mark_popular(s);
         let prefetched = b.prefetch_paths(s, SimTime::ZERO);
         assert_eq!(prefetched.len(), nodes.len());
-        // Every consumer gets a usable path (zero-hop for the producer).
-        assert!(prefetched.iter().all(|(_, l)| !l.paths.is_empty()));
+        // Every consumer gets a usable path (zero-hop for the producer),
+        // stamped with its own consumer and the SIB producer.
+        assert!(prefetched.iter().all(|a| !a.paths.is_empty()));
+        assert!(prefetched.iter().all(|a| a.stream == s && a.producer == nodes[0]));
+        let consumers: BTreeSet<NodeId> = prefetched.iter().map(|a| a.consumer).collect();
+        assert_eq!(consumers.len(), nodes.len());
+    }
+
+    #[test]
+    fn update_topology_recomputes_routing_state() {
+        let (mut b, nodes) = brain(9);
+        let rounds_before = b.recompute_rounds;
+        let s = StreamId::new(3);
+        b.register_stream(s, nodes[0]);
+        // Degrade every link out of an intermediate node so recomputed
+        // paths route around it.
+        let victim = nodes[1];
+        let rtt = b.update_topology(|t| {
+            let peers: Vec<NodeId> = t.routable_node_ids().collect();
+            for p in peers {
+                if p != victim {
+                    if let Some(l) = t.link_mut(victim, p) {
+                        l.utilization = 0.95;
+                    }
+                }
+            }
+            t.link(victim, nodes[0]).map(|l| l.rtt)
+        });
+        assert!(rtt.is_some());
+        // The closure ran exactly once and the PIB was rebuilt on exit.
+        assert_eq!(b.recompute_rounds, rounds_before + 1);
+        for (_, paths) in b.decision().pib.iter() {
+            for p in paths {
+                assert!(
+                    !p.contains_node(victim) || p.producer() == victim || p.consumer() == victim
+                );
+            }
+        }
+        // The periodic schedule is unaffected: the rebuild reused the last
+        // recompute timestamp, so the next due time is unchanged.
+        assert!(!b.maybe_recompute(SimTime::from_secs(599)));
+        assert!(b.maybe_recompute(SimTime::from_secs(600)));
     }
 
     #[test]

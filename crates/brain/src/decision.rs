@@ -20,6 +20,61 @@ pub struct PathLookup {
     pub last_resort: bool,
 }
 
+/// A fully-resolved path assignment for one (stream, consumer) pair — the
+/// single answer shape every Brain entry point returns.
+///
+/// [`StreamingBrain::path_request`], `prefetch_paths` and
+/// `rehome_producer` all used to hand back slightly different shapes
+/// (bare [`PathLookup`]s, `(NodeId, PathLookup)` tuples); fleet shard
+/// workers and the tokio transport now consume this one type.
+///
+/// [`StreamingBrain::path_request`]: crate::StreamingBrain::path_request
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathAssignment {
+    /// The stream the paths carry.
+    pub stream: StreamId,
+    /// The consumer node the paths terminate at.
+    pub consumer: NodeId,
+    /// The producer node the paths originate from (SIB resolution).
+    pub producer: NodeId,
+    /// Candidate paths, best first (the paper returns 3). Never empty:
+    /// lookups that find nothing error instead.
+    pub paths: Vec<OverlayPath>,
+    /// True when the lookup fell back to last-resort paths.
+    pub last_resort: bool,
+}
+
+impl PathAssignment {
+    /// Wrap a decision-layer lookup into the unified shape.
+    pub fn from_lookup(stream: StreamId, consumer: NodeId, lookup: PathLookup) -> Self {
+        let producer = lookup
+            .paths
+            .first()
+            .map(|p| p.producer())
+            .unwrap_or(consumer);
+        PathAssignment {
+            stream,
+            consumer,
+            producer,
+            paths: lookup.paths,
+            last_resort: lookup.last_resort,
+        }
+    }
+
+    /// The best candidate path.
+    ///
+    /// # Panics
+    /// If `paths` is empty — the Brain never produces such an assignment.
+    pub fn best(&self) -> &OverlayPath {
+        &self.paths[0]
+    }
+
+    /// Overlay hops of the best candidate.
+    pub fn hops(&self) -> usize {
+        self.best().hops()
+    }
+}
+
 /// The Path Decision module: owns the PIB and SIB.
 #[derive(Debug, Default)]
 pub struct PathDecision {

@@ -28,7 +28,7 @@ pub mod routing;
 pub mod weight;
 
 pub use brain::{BrainConfig, StreamingBrain};
-pub use decision::{PathDecision, PathLookup};
+pub use decision::{PathAssignment, PathDecision, PathLookup};
 pub use discovery::GlobalDiscovery;
 pub use ksp::{dijkstra, yen_ksp, WeightedGraph};
 pub use pib::{OverlayPath, Pib, Sib};

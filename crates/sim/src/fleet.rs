@@ -60,6 +60,11 @@ pub struct FleetConfig {
     pub bad_last_mile_fraction: f64,
     /// Streaming Brain configuration (routing K, hop limit, weight params).
     pub brain: livenet_brain::BrainConfig,
+    /// Shards the workload is partitioned into for [`crate::FleetRunner`]
+    /// runs (1 = unsharded). The shard *count* fixes the partition — and
+    /// therefore the result bits — independently of how many worker
+    /// threads execute it.
+    pub shards: usize,
 }
 
 impl Default for FleetConfig {
@@ -75,6 +80,7 @@ impl Default for FleetConfig {
             long_chain_switch_hops: 5,
             bad_last_mile_fraction: 0.05,
             brain: livenet_brain::BrainConfig::default(),
+            shards: 1,
         }
     }
 }
@@ -96,6 +102,184 @@ impl FleetConfig {
             },
             ..Default::default()
         }
+    }
+
+    /// Start building a validated configuration.
+    pub fn builder() -> FleetConfigBuilder {
+        FleetConfigBuilder {
+            config: FleetConfig::default(),
+        }
+    }
+
+    /// Check the configuration for values that would make a run meaningless
+    /// or panic mid-simulation (zero capacities, empty topology, ...).
+    pub fn validate(&self) -> livenet_types::Result<()> {
+        use livenet_types::Error;
+        if self.geo.nodes == 0 {
+            return Err(Error::invalid_config("geo.nodes must be > 0"));
+        }
+        if self.geo.countries == 0 {
+            return Err(Error::invalid_config("geo.countries must be > 0"));
+        }
+        if self.geo.nodes < self.geo.countries {
+            return Err(Error::invalid_config(format!(
+                "geo.nodes ({}) must cover every country ({})",
+                self.geo.nodes, self.geo.countries
+            )));
+        }
+        if self.workload.channels == 0 {
+            return Err(Error::invalid_config("workload.channels must be > 0"));
+        }
+        if self.workload.days == 0 {
+            return Err(Error::invalid_config("workload.days must be > 0"));
+        }
+        if self.workload.peak_arrivals_per_sec <= 0.0 {
+            return Err(Error::invalid_config(
+                "workload.peak_arrivals_per_sec must be > 0",
+            ));
+        }
+        if self.workload.zipf_s <= 0.0 {
+            return Err(Error::invalid_config("workload.zipf_s must be > 0"));
+        }
+        if self.node_capacity_sessions <= 0.0 {
+            return Err(Error::invalid_config("node_capacity_sessions must be > 0"));
+        }
+        if self.link_capacity_sessions <= 0.0 {
+            return Err(Error::invalid_config("link_capacity_sessions must be > 0"));
+        }
+        if self.long_chain_switch_hops == 0 {
+            return Err(Error::invalid_config("long_chain_switch_hops must be > 0"));
+        }
+        if !(0.0..=1.0).contains(&self.bad_last_mile_fraction) {
+            return Err(Error::invalid_config(
+                "bad_last_mile_fraction must be in [0, 1]",
+            ));
+        }
+        if self.brain.routing.k == 0 {
+            return Err(Error::invalid_config("brain.routing.k must be > 0"));
+        }
+        if self.brain.routing.max_hops == 0 {
+            return Err(Error::invalid_config("brain.routing.max_hops must be > 0"));
+        }
+        if self.shards == 0 {
+            return Err(Error::invalid_config("shards must be > 0"));
+        }
+        if self.shards > self.workload.channels {
+            return Err(Error::invalid_config(format!(
+                "shards ({}) cannot exceed channels ({})",
+                self.shards, self.workload.channels
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Validated builder for [`FleetConfig`].
+///
+/// Start from a named preset ([`smoke`](Self::smoke) /
+/// [`paper_scale`](Self::paper_scale)) or [`FleetConfig::builder`]
+/// (paper-scale defaults), adjust the common knobs with setters (anything
+/// else through [`tweak`](Self::tweak)), and finish with
+/// [`build`](Self::build), which rejects invalid configurations with
+/// [`livenet_types::Error::InvalidConfig`] instead of letting a run panic
+/// halfway through a 20-day simulation.
+#[derive(Debug, Clone)]
+pub struct FleetConfigBuilder {
+    config: FleetConfig,
+}
+
+impl FleetConfigBuilder {
+    /// The small/fast test preset, pre-sharded for parallel runs.
+    pub fn smoke(seed: u64) -> FleetConfigBuilder {
+        FleetConfigBuilder {
+            config: FleetConfig {
+                shards: 8,
+                ..FleetConfig::smoke(seed)
+            },
+        }
+    }
+
+    /// Continue building (and re-validate) from an existing configuration.
+    pub fn from_config(config: FleetConfig) -> FleetConfigBuilder {
+        FleetConfigBuilder { config }
+    }
+
+    /// The paper-scale evaluation preset (60 nodes, 200 channels, 20
+    /// days), pre-sharded for parallel runs.
+    pub fn paper_scale(seed: u64) -> FleetConfigBuilder {
+        FleetConfigBuilder {
+            config: FleetConfig {
+                geo: GeoConfig::paper_scale(seed),
+                workload: WorkloadConfig {
+                    seed,
+                    ..WorkloadConfig::default()
+                },
+                shards: 8,
+                ..FleetConfig::default()
+            },
+        }
+    }
+
+    /// Set both RNG seeds (topology and workload).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.geo.seed = seed;
+        self.config.workload.seed = seed;
+        self
+    }
+
+    /// Simulated days.
+    pub fn days(mut self, days: u32) -> Self {
+        self.config.workload.days = days;
+        self
+    }
+
+    /// Broadcaster channel count.
+    pub fn channels(mut self, channels: usize) -> Self {
+        self.config.workload.channels = channels;
+        self
+    }
+
+    /// Fleet-wide peak viewer arrival rate (per second).
+    pub fn peak_arrivals_per_sec(mut self, rate: f64) -> Self {
+        self.config.workload.peak_arrivals_per_sec = rate;
+        self
+    }
+
+    /// Festival schedule: boosted-demand days and the demand multiplier.
+    pub fn festival(mut self, days: Vec<u32>, factor: f64) -> Self {
+        self.config.workload.festival_days = days;
+        self.config.workload.festival_factor = factor;
+        self
+    }
+
+    /// CDN node count.
+    pub fn nodes(mut self, nodes: u32) -> Self {
+        self.config.geo.nodes = nodes;
+        self
+    }
+
+    /// Country count.
+    pub fn countries(mut self, countries: u32) -> Self {
+        self.config.geo.countries = countries;
+        self
+    }
+
+    /// Shard count for partitioned [`crate::FleetRunner`] runs.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Escape hatch for fields without a dedicated setter.
+    pub fn tweak(mut self, f: impl FnOnce(&mut FleetConfig)) -> Self {
+        f(&mut self.config);
+        self
+    }
+
+    /// Validate and return the configuration.
+    pub fn build(self) -> livenet_types::Result<FleetConfig> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -146,6 +330,36 @@ pub struct FleetReport {
     pub recompute_rounds: u64,
 }
 
+impl FleetReport {
+    /// Bit-exact equality, the determinism contract of
+    /// [`crate::FleetRunner`]: every float is compared through its bit
+    /// pattern (so identical NaNs in `hourly_loss` compare equal, and no
+    /// epsilon can paper over a divergent run).
+    pub fn bit_identical(&self, other: &FleetReport) -> bool {
+        fn bits(v: &[f64]) -> impl Iterator<Item = u64> + '_ {
+            v.iter().map(|x| x.to_bits())
+        }
+        self.livenet == other.livenet
+            && self.hier == other.hier
+            && self.hourly_loss.len() == other.hourly_loss.len()
+            && bits(&self.hourly_loss).eq(bits(&other.hourly_loss))
+            && self.daily_peak_throughput.len() == other.daily_peak_throughput.len()
+            && bits(&self.daily_peak_throughput).eq(bits(&other.daily_peak_throughput))
+            && self.daily_unique_paths == other.daily_unique_paths
+            && self.skipped_offline == other.skipped_offline
+            && self.chain_switches == other.chain_switches
+            && self.recompute_rounds == other.recompute_rounds
+    }
+}
+
+/// Output of one shard's run: the report plus the per-day realized-path
+/// hash sets, which the merge needs to union (`daily_unique_paths` is a
+/// set cardinality, so per-shard counts cannot simply be summed).
+pub(crate) struct ShardOutput {
+    pub(crate) report: FleetReport,
+    pub(crate) day_path_sets: Vec<HashSet<u64>>,
+}
+
 /// The fleet simulator.
 pub struct FleetSim {
     config: FleetConfig,
@@ -166,6 +380,9 @@ pub struct FleetSim {
     // Channel schedule: per channel, sorted (start, end) live blocks.
     live_blocks: Vec<Vec<(SimTime, SimTime)>>,
     producers: Vec<NodeId>, // per channel
+    // Channels this instance simulates (all true in monolith runs; one
+    // shard's membership in sharded runs).
+    scheduled: Vec<bool>,
     queue: EventQueue<Ev>,
     active: HashMap<u64, Active>,
     next_session_id: u64,
@@ -175,6 +392,7 @@ pub struct FleetSim {
     hour_loss_n: u64,
     current_hour: u64,
     day_paths: HashSet<u64>,
+    day_path_log: Vec<HashSet<u64>>,
     current_day: u32,
     day_peak_bps: f64,
     bitrate_bps: f64,
@@ -242,6 +460,7 @@ impl FleetSim {
             })
             .collect();
 
+        let scheduled = vec![true; workload.channels.len()];
         FleetSim {
             bitrate_bps: 2_500_000.0,
             config,
@@ -258,6 +477,7 @@ impl FleetSim {
             link_sessions: HashMap::new(),
             live_blocks,
             producers,
+            scheduled,
             queue: EventQueue::new(),
             active: HashMap::new(),
             next_session_id: 0,
@@ -266,9 +486,41 @@ impl FleetSim {
             hour_loss_n: 0,
             current_hour: 0,
             day_paths: HashSet::new(),
+            day_path_log: Vec::new(),
             current_day: 0,
             day_peak_bps: 0.0,
         }
+    }
+
+    /// Build the simulator for one shard of a partitioned run.
+    ///
+    /// The topology, channel universe and live schedule are generated
+    /// exactly as in [`FleetSim::new`] — every shard agrees on the shared
+    /// ground truth because the same RNG streams are consumed to build it.
+    /// Only then does the shard diverge: arrivals come from the plan's
+    /// channel slice at its Zipf mass share of the fleet rate, per-session
+    /// noise draws from `split(index)` of the fleet stream, and session
+    /// capacities are scaled by the mass share so per-shard utilization
+    /// (and therefore routing and queueing) matches the monolith's.
+    pub fn new_shard(config: FleetConfig, plan: &crate::runner::ShardPlan) -> FleetSim {
+        let countries = config.geo.countries;
+        let mut sim = FleetSim::new(config);
+        sim.workload = Workload::for_shard(
+            sim.config.workload.clone(),
+            countries,
+            &plan.channels,
+            plan.mass_share,
+            plan.index as u64,
+        );
+        sim.rng = sim.rng.split(plan.index as u64);
+        sim.scheduled = vec![false; sim.workload.channels.len()];
+        for &c in &plan.channels {
+            sim.scheduled[c] = true;
+        }
+        let share = plan.mass_share.max(1e-9);
+        sim.config.node_capacity_sessions *= share;
+        sim.config.link_capacity_sessions *= share;
+        sim
     }
 
     /// Ground-truth topology access (tests).
@@ -277,10 +529,18 @@ impl FleetSim {
     }
 
     /// Run the whole configured period and return the report.
-    pub fn run(mut self) -> FleetReport {
+    pub fn run(self) -> FleetReport {
+        self.run_collect().report
+    }
+
+    /// Run and keep the shard-merge bookkeeping alongside the report.
+    pub(crate) fn run_collect(mut self) -> ShardOutput {
         self.hier_delay = HierDelayModel::new(self.config.hier);
-        // Seed stream start/end events.
+        // Seed stream start/end events for the channels this instance owns.
         for (ch, blocks) in self.live_blocks.clone().into_iter().enumerate() {
+            if !self.scheduled[ch] {
+                continue;
+            }
             for (start, end) in blocks {
                 self.queue.schedule(start, Ev::StreamStart(ch));
                 self.queue.schedule(end, Ev::StreamEnd(ch));
@@ -318,8 +578,12 @@ impl FleetSim {
         self.report.daily_peak_throughput.truncate(days);
         self.report.daily_unique_paths.truncate(days);
         self.report.hourly_loss.truncate(days * 24);
+        self.day_path_log.truncate(days);
         self.report.recompute_rounds = self.brain.recompute_rounds;
-        self.report
+        ShardOutput {
+            report: self.report,
+            day_path_sets: self.day_path_log,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -910,13 +1174,15 @@ impl FleetSim {
         while self.report.daily_peak_throughput.len() < self.current_day as usize {
             self.report.daily_peak_throughput.push(0.0);
             self.report.daily_unique_paths.push(0);
+            self.day_path_log.push(HashSet::new());
         }
         self.report.daily_peak_throughput.push(self.day_peak_bps);
         self.report
             .daily_unique_paths
             .push(self.day_paths.len());
+        self.day_path_log
+            .push(std::mem::take(&mut self.day_paths));
         self.day_peak_bps = 0.0;
-        self.day_paths.clear();
     }
 
     fn poisson(&mut self, lambda: f64) -> u16 {

@@ -15,6 +15,10 @@
 //!   the Hier baseline side by side on identical sessions, mirroring the
 //!   paper's parallel-deployment methodology (§6.1).
 //!
+//! Fleet runs scale out through [`runner`]: [`FleetRunner`] partitions the
+//! channel universe into independent shards (DESIGN.md §7) and executes
+//! them serially or on a thread pool with bit-identical results.
+//!
 //! [`OverlayNode`]: livenet_node::OverlayNode
 
 #![forbid(unsafe_code)]
@@ -25,13 +29,15 @@ pub mod calibrate;
 pub mod fleet;
 pub mod metrics;
 pub mod packetsim;
+pub mod runner;
 pub mod viewer;
 pub mod workload;
 
 pub use adapter::{EmuHost, HostEvent};
 pub use calibrate::LatencyConstants;
-pub use fleet::{FleetConfig, FleetReport, FleetSim, System};
+pub use fleet::{FleetConfig, FleetConfigBuilder, FleetReport, FleetSim, System};
 pub use metrics::{HourlySeries, SessionRecord};
+pub use runner::{partition_channels, FleetRunner, ShardPlan};
 pub use packetsim::{PacketSim, PacketSimConfig, PacketSimReport};
 pub use viewer::{PlaybackSim, ViewerQoe};
 pub use workload::{diurnal_factor, Channel, WorkloadConfig};

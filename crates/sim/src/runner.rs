@@ -1,0 +1,309 @@
+//! Sharded fleet execution with a deterministic merge.
+//!
+//! [`FleetRunner`] partitions a fleet run by channel into independent
+//! shards, runs them serially or on a thread pool, and merges the per-shard
+//! outputs in a canonical order. Because every shard is a fully independent
+//! [`FleetSim`] — its own topology copy, its own Brain, its own RNG
+//! sub-stream ([`DetRng::split`]) — and the merge never looks at wall-clock
+//! completion order, `run_parallel(n)` is **bit-identical** to
+//! `run_serial()` for every seed and every thread count.
+//!
+//! The partition respects the workload's Zipf skew:
+//!
+//! * the popular head channels (the prefetch set) are co-sharded as one
+//!   group on shard 0, so head viewers share GoP caches and realized paths
+//!   the way they do in the monolith;
+//! * tail channels are greedily balanced by their Zipf mass `1/(rank+1)^s`;
+//! * each shard's arrival rate and session capacities are scaled by its
+//!   mass share, so per-shard utilization — and therefore routing,
+//!   queueing and the long-chain dynamics — matches the monolith's.
+//!
+//! Sharded runs are a *new semantics*, not a replay of the legacy
+//! [`FleetSim::run`] monolith: the union of the shards' thinned Poisson
+//! streams is distributed like the monolith stream but is not the same
+//! sample path. The determinism contract is serial-sharded ≡
+//! parallel-sharded, checked by [`FleetReport::bit_identical`].
+//!
+//! [`DetRng::split`]: livenet_types::DetRng::split
+
+use crate::fleet::{FleetConfig, FleetReport, FleetSim, ShardOutput};
+use livenet_types::{Result, SimTime, ZipfTable};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// One shard's slice of the fleet: which channels it simulates and the
+/// fraction of the total Zipf mass (≈ viewer arrivals) they carry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardPlan {
+    /// Shard index; doubles as the `DetRng::split` label, so a shard's
+    /// random stream does not depend on how many siblings run.
+    pub index: usize,
+    /// Member channel indices (== Zipf ranks), ascending.
+    pub channels: Vec<usize>,
+    /// The members' share of the total channel popularity mass, in (0, 1].
+    pub mass_share: f64,
+}
+
+/// Partition the channel universe into at most `config.shards` plans.
+///
+/// The popular head (`popular_fraction`) stays together on shard 0; tail
+/// channels go to the lightest shard so far (ties to the lowest index).
+/// Shards that end up empty are dropped — surviving plans keep their
+/// original indices, so the partition (and every shard's RNG stream) is a
+/// pure function of the config, never of the thread count.
+pub fn partition_channels(config: &FleetConfig) -> Vec<ShardPlan> {
+    let channels = config.workload.channels;
+    let shards = config.shards.clamp(1, channels.max(1));
+    let zipf = ZipfTable::new(channels, config.workload.zipf_s);
+    let mass: Vec<f64> = (0..channels).map(|k| zipf.pmf(k)).collect();
+    let total: f64 = mass.iter().sum();
+    let popular_cut = ((channels as f64 * config.workload.popular_fraction).ceil() as usize)
+        .min(channels);
+
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); shards];
+    let mut load = vec![0.0f64; shards];
+    // Head group: co-sharded, always on shard 0.
+    for c in 0..popular_cut {
+        members[0].push(c);
+        load[0] += mass[c];
+    }
+    // Tail: greedy balance by Zipf mass.
+    for c in popular_cut..channels {
+        let mut best = 0;
+        for s in 1..shards {
+            if load[s] < load[best] {
+                best = s;
+            }
+        }
+        members[best].push(c);
+        load[best] += mass[c];
+    }
+    members
+        .into_iter()
+        .zip(load)
+        .enumerate()
+        .filter(|(_, (m, _))| !m.is_empty())
+        .map(|(index, (channels, l))| ShardPlan {
+            index,
+            channels,
+            mass_share: l / total,
+        })
+        .collect()
+}
+
+/// Facade for sharded fleet runs: validate once, then run the same
+/// partition serially or in parallel with bit-identical results.
+#[derive(Debug, Clone)]
+pub struct FleetRunner {
+    config: FleetConfig,
+}
+
+impl FleetRunner {
+    /// Wrap a validated configuration.
+    ///
+    /// Rejects configurations [`FleetConfig::validate`] rejects — the same
+    /// checks [`crate::FleetConfigBuilder::build`] runs, repeated here so
+    /// hand-built configs cannot bypass them.
+    pub fn new(config: FleetConfig) -> Result<FleetRunner> {
+        config.validate()?;
+        Ok(FleetRunner { config })
+    }
+
+    /// The validated configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The shard partition this runner executes.
+    pub fn plans(&self) -> Vec<ShardPlan> {
+        partition_channels(&self.config)
+    }
+
+    /// Run every shard on the calling thread, in index order.
+    pub fn run_serial(&self) -> FleetReport {
+        let outputs: Vec<ShardOutput> = self
+            .plans()
+            .iter()
+            .map(|p| FleetSim::new_shard(self.config.clone(), p).run_collect())
+            .collect();
+        merge(outputs, self.config.workload.days as usize)
+    }
+
+    /// Run the shards on up to `threads` worker threads.
+    ///
+    /// Workers pull shard indices from a shared counter and send results
+    /// back tagged with their index; the merge consumes them in index
+    /// order, so scheduling jitter cannot reach the output bits.
+    pub fn run_parallel(&self, threads: usize) -> FleetReport {
+        let plans = self.plans();
+        let workers = threads.clamp(1, plans.len());
+        if workers == 1 {
+            return self.run_serial();
+        }
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, ShardOutput)>();
+        let mut slots: Vec<Option<ShardOutput>> = Vec::new();
+        slots.resize_with(plans.len(), || None);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let plans = &plans;
+                let config = &self.config;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= plans.len() {
+                        break;
+                    }
+                    let out = FleetSim::new_shard(config.clone(), &plans[i]).run_collect();
+                    if tx.send((i, out)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (i, out) in rx {
+                slots[i] = Some(out);
+            }
+        });
+        let outputs: Vec<ShardOutput> = slots
+            .into_iter()
+            .map(|o| o.expect("shard worker exited without a result"))
+            .collect();
+        merge(outputs, self.config.workload.days as usize)
+    }
+}
+
+/// Merge per-shard outputs into one fleet report, canonically.
+///
+/// * Sessions: k-way merge by `(start, shard index, position)` — a total
+///   order independent of execution interleaving. The LiveNet/Hier pairing
+///   survives because both vectors share the per-shard order.
+/// * `hourly_loss`: shard 0's copy. Link loss depends only on the hour,
+///   the link IDs and the diurnal factor — never on sessions — and the
+///   topology iterates its `BTreeMap`s in key order, so every shard
+///   computes the exact same hourly means.
+/// * `daily_peak_throughput`: element-wise sum in shard-index order (each
+///   shard carries a disjoint slice of concurrent sessions).
+/// * `daily_unique_paths`: per-day set union of realized-path hashes.
+/// * Counters: summed.
+fn merge(outputs: Vec<ShardOutput>, days: usize) -> FleetReport {
+    let mut merged = FleetReport::default();
+    let mut order: Vec<(SimTime, usize, usize)> = Vec::new();
+    for (s, out) in outputs.iter().enumerate() {
+        for (i, rec) in out.report.livenet.iter().enumerate() {
+            order.push((rec.start, s, i));
+        }
+    }
+    order.sort_unstable();
+    merged.livenet.reserve(order.len());
+    merged.hier.reserve(order.len());
+    for &(_, s, i) in &order {
+        merged.livenet.push(outputs[s].report.livenet[i]);
+        merged.hier.push(outputs[s].report.hier[i]);
+    }
+
+    merged.hourly_loss = outputs[0].report.hourly_loss.clone();
+
+    merged.daily_peak_throughput = vec![0.0; days];
+    let mut day_sets: Vec<HashSet<u64>> = vec![HashSet::new(); days];
+    for out in &outputs {
+        for (d, v) in out.report.daily_peak_throughput.iter().enumerate() {
+            merged.daily_peak_throughput[d] += v;
+        }
+        for (d, set) in out.day_path_sets.iter().enumerate() {
+            day_sets[d].extend(set);
+        }
+        merged.skipped_offline += out.report.skipped_offline;
+        merged.chain_switches += out.report.chain_switches;
+        merged.recompute_rounds += out.report.recompute_rounds;
+    }
+    merged.daily_unique_paths = day_sets.iter().map(HashSet::len).collect();
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::FleetConfigBuilder;
+
+    fn tiny_config(seed: u64) -> FleetConfig {
+        // Small enough for unit tests: fewer ticks and arrivals than the
+        // smoke preset, but still several shards' worth of channels.
+        FleetConfigBuilder::smoke(seed)
+            .peak_arrivals_per_sec(0.2)
+            .shards(4)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn partition_covers_every_channel_exactly_once() {
+        let cfg = tiny_config(1);
+        let plans = partition_channels(&cfg);
+        let mut seen = vec![0u32; cfg.workload.channels];
+        for p in &plans {
+            for &c in &p.channels {
+                seen[c] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&n| n == 1), "{seen:?}");
+        let total: f64 = plans.iter().map(|p| p.mass_share).sum();
+        assert!((total - 1.0).abs() < 1e-9, "mass shares sum to {total}");
+    }
+
+    #[test]
+    fn popular_head_is_co_sharded() {
+        let cfg = tiny_config(2);
+        let plans = partition_channels(&cfg);
+        let cut = (cfg.workload.channels as f64 * cfg.workload.popular_fraction).ceil() as usize;
+        let head = &plans[0];
+        assert_eq!(head.index, 0);
+        for c in 0..cut {
+            assert!(head.channels.contains(&c), "head channel {c} not on shard 0");
+        }
+    }
+
+    #[test]
+    fn partition_is_deterministic_and_thread_free() {
+        let cfg = tiny_config(3);
+        assert_eq!(partition_channels(&cfg), partition_channels(&cfg));
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_serial() {
+        let runner = FleetRunner::new(tiny_config(4)).unwrap();
+        let serial = runner.run_serial();
+        let parallel = runner.run_parallel(2);
+        assert!(serial.bit_identical(&parallel));
+        assert!(!serial.livenet.is_empty());
+    }
+
+    #[test]
+    fn merged_sessions_are_time_ordered_and_paired() {
+        let runner = FleetRunner::new(tiny_config(5)).unwrap();
+        let r = runner.run_serial();
+        assert_eq!(r.livenet.len(), r.hier.len());
+        for w in r.livenet.windows(2) {
+            assert!(w[0].start <= w[1].start);
+        }
+        for (ln, h) in r.livenet.iter().zip(&r.hier) {
+            assert_eq!(ln.start, h.start);
+        }
+    }
+
+    #[test]
+    fn runner_rejects_invalid_configs() {
+        let bad = FleetConfigBuilder::smoke(1)
+            .tweak(|c| c.node_capacity_sessions = 0.0)
+            .build();
+        assert!(matches!(
+            bad,
+            Err(livenet_types::Error::InvalidConfig(_))
+        ));
+        let mut cfg = FleetConfig::smoke(1);
+        cfg.shards = 0;
+        assert!(FleetRunner::new(cfg).is_err());
+    }
+}

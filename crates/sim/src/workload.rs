@@ -122,6 +122,13 @@ pub struct SessionSpec {
     pub viewer_country: u32,
 }
 
+/// Restriction of the arrival stream to one shard's channels: the member
+/// channel indices plus the Zipf CDF *conditional on* landing in the set.
+struct ShardPool {
+    channels: Vec<usize>,
+    cdf: Vec<f64>,
+}
+
 /// The workload generator: channels + a Poisson arrival stream (by
 /// thinning) with deterministic replay.
 pub struct Workload {
@@ -133,6 +140,11 @@ pub struct Workload {
     rng: DetRng,
     next_arrival: SimTime,
     countries: u32,
+    /// When sharded: only these channels arrive, at `rate_share` of the
+    /// fleet rate. Thinning a Poisson process splits it exactly, so the
+    /// union over shards is distributed like the monolith stream.
+    pool: Option<ShardPool>,
+    rate_share: f64,
 }
 
 impl Workload {
@@ -166,7 +178,46 @@ impl Workload {
             rng,
             next_arrival: SimTime::ZERO,
             countries,
+            pool: None,
+            rate_share: 1.0,
         }
+    }
+
+    /// Build the generator for one shard of a partitioned fleet run.
+    ///
+    /// The channel universe is built exactly as in [`Workload::new`] (every
+    /// shard sees the same channels), then arrivals are restricted to
+    /// `members` (channel indices) at `mass_share` of the fleet rate, with
+    /// channel choice drawn from the Zipf distribution conditioned on the
+    /// member set. Per-shard noise comes from `split(shard)` of the shared
+    /// workload stream, so shards are mutually independent but each is
+    /// reproducible regardless of how many siblings run.
+    pub fn for_shard(
+        config: WorkloadConfig,
+        countries: u32,
+        members: &[usize],
+        mass_share: f64,
+        shard: u64,
+    ) -> Workload {
+        assert!(!members.is_empty(), "shard with no channels");
+        let mut w = Workload::new(config, countries);
+        w.rng = w.rng.split(shard);
+        let mut cdf = Vec::with_capacity(members.len());
+        let mut acc = 0.0;
+        for &c in members {
+            acc += w.zipf.pmf(c);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        w.pool = Some(ShardPool {
+            channels: members.to_vec(),
+            cdf,
+        });
+        w.rate_share = mass_share;
+        w
     }
 
     /// End of the simulated period.
@@ -180,7 +231,9 @@ impl Workload {
     /// with probability `demand_factor / max_factor`.
     pub fn next_session(&mut self) -> Option<SessionSpec> {
         let max_factor = self.config.festival_factor.max(1.0);
-        let peak = self.config.peak_arrivals_per_sec * max_factor;
+        // rate_share is exactly 1.0 in the monolith path, so the
+        // multiplication leaves the legacy stream bit-identical.
+        let peak = self.config.peak_arrivals_per_sec * max_factor * self.rate_share;
         loop {
             let gap = self.rng.exp(1.0 / peak);
             self.next_arrival = self.next_arrival + SimDuration::from_secs_f64(gap);
@@ -191,7 +244,14 @@ impl Workload {
             if !self.rng.chance(keep) {
                 continue;
             }
-            let channel = self.zipf.sample(&mut self.rng);
+            let channel = match &self.pool {
+                Some(pool) => {
+                    let u = self.rng.f64();
+                    let i = pool.cdf.partition_point(|&c| c < u).min(pool.cdf.len() - 1);
+                    pool.channels[i]
+                }
+                None => self.zipf.sample(&mut self.rng),
+            };
             let broadcaster_country = self.channels[channel].country;
             let viewer_country = if self.rng.chance(self.config.international_fraction) {
                 // Uniform over the *other* countries.
@@ -329,6 +389,49 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn shard_pool_restricts_channels_and_splits_rate() {
+        let cfg = WorkloadConfig::smoke(6);
+        let members: Vec<usize> = (0..10).collect();
+        // Zipf mass of ranks 0..10 out of 40 with s≈1: a bit over half.
+        let zipf = ZipfTable::new(cfg.channels, cfg.zipf_s);
+        let mass: f64 = members.iter().map(|&c| zipf.pmf(c)).sum();
+        let mut whole = Workload::new(cfg.clone(), 12);
+        let mut shard = Workload::for_shard(cfg, 12, &members, mass, 0);
+        // Shards agree on the channel universe built from the shared stream.
+        assert_eq!(whole.channels, shard.channels);
+        let mut whole_n = 0u32;
+        while whole.next_session().is_some() {
+            whole_n += 1;
+        }
+        let mut shard_n = 0u32;
+        while let Some(s) = shard.next_session() {
+            assert!(members.contains(&s.channel));
+            shard_n += 1;
+        }
+        // Arrival volume scales with the shard's Zipf mass share.
+        let ratio = f64::from(shard_n) / f64::from(whole_n);
+        assert!(
+            (ratio - mass).abs() < 0.1,
+            "ratio {ratio} vs mass share {mass}"
+        );
+    }
+
+    #[test]
+    fn shard_replay_is_deterministic_and_label_dependent() {
+        let members: Vec<usize> = (5..15).collect();
+        let run = |shard| {
+            let mut w = Workload::for_shard(WorkloadConfig::smoke(7), 12, &members, 0.3, shard);
+            let mut v = Vec::new();
+            for _ in 0..50 {
+                v.push(w.next_session().unwrap());
+            }
+            v
+        };
+        assert_eq!(run(2), run(2));
+        assert_ne!(run(2), run(3));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! data plane over real sockets; control-plane behaviour (PIB/SIB,
 //! invalidation, recompute) is the `livenet-brain` crate.
 
-use livenet_brain::{PathLookup, StreamingBrain};
+use livenet_brain::{PathAssignment, StreamingBrain};
 use livenet_types::{NodeId, Result, SimTime, StreamId};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -42,8 +42,13 @@ impl BrainHandle {
         stream: StreamId,
         consumer: NodeId,
         now: SimTime,
-    ) -> Result<PathLookup> {
+    ) -> Result<PathAssignment> {
         self.inner.lock().path_request(stream, consumer, now)
+    }
+
+    /// Prefetch assignments for a popular stream (§4.4).
+    pub fn prefetch_paths(&self, stream: StreamId, now: SimTime) -> Vec<PathAssignment> {
+        self.inner.lock().prefetch_paths(stream, now)
     }
 
     /// Periodic recompute entry point.

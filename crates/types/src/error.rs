@@ -15,6 +15,9 @@ pub enum Error {
     InvalidState(String),
     /// Capacity exhausted (queue full, cache full, no path available).
     Exhausted(String),
+    /// A configuration failed validation before the run could start
+    /// (zero capacities, empty topology, impossible shard layout, ...).
+    InvalidConfig(String),
     /// An I/O-layer failure reported by a transport driver.
     Io(String),
 }
@@ -27,6 +30,7 @@ impl fmt::Display for Error {
             Error::Constraint(m) => write!(f, "constraint violated: {m}"),
             Error::InvalidState(m) => write!(f, "invalid state: {m}"),
             Error::Exhausted(m) => write!(f, "exhausted: {m}"),
+            Error::InvalidConfig(m) => write!(f, "invalid config: {m}"),
             Error::Io(m) => write!(f, "io error: {m}"),
         }
     }
@@ -58,6 +62,10 @@ impl Error {
     pub fn exhausted(msg: impl Into<String>) -> Self {
         Error::Exhausted(msg.into())
     }
+    /// Shorthand for a config-validation error.
+    pub fn invalid_config(msg: impl Into<String>) -> Self {
+        Error::InvalidConfig(msg.into())
+    }
 }
 
 #[cfg(test)]
@@ -73,6 +81,10 @@ mod tests {
         assert_eq!(
             Error::not_found("st42").to_string(),
             "not found: st42"
+        );
+        assert_eq!(
+            Error::invalid_config("zero node capacity").to_string(),
+            "invalid config: zero node capacity"
         );
     }
 }

@@ -11,11 +11,18 @@ use livenet::sim::metrics::summarize;
 fn main() {
     // Four days, festival spike on day 2 (~2× demand), with the paper's
     // festival up-scaling of provisioned capacity.
-    let mut cfg = FleetConfig::default();
-    cfg.workload.days = 4;
-    cfg.workload.festival_days = vec![2];
-    cfg.workload.peak_arrivals_per_sec = 1.0;
-    let report = FleetSim::new(cfg).run();
+    let cfg = FleetConfigBuilder::paper_scale(1)
+        .days(4)
+        .festival(vec![2], 2.0)
+        .peak_arrivals_per_sec(1.0)
+        .build()
+        .expect("flash-sale config is valid");
+    // Sharded parallel run: same bits as run_serial(), whatever the core
+    // count.
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let report = FleetRunner::new(cfg)
+        .expect("config already validated")
+        .run_parallel(threads);
 
     println!(
         "simulated {} viewing sessions over 4 days (festival on day 3)",

@@ -34,11 +34,12 @@
 //! let nodes: Vec<NodeId> = geo.topology.routable_node_ids().collect();
 //! let mut brain = StreamingBrain::new(geo.topology, BrainConfig::default());
 //! brain.register_stream(StreamId::new(42), nodes[0]);
-//! let lookup = brain
+//! let assignment = brain
 //!     .path_request(StreamId::new(42), nodes[4], SimTime::ZERO)
 //!     .expect("stream registered");
-//! assert!(!lookup.paths.is_empty());
-//! assert!(lookup.paths[0].hops() <= 3); // the paper's hop constraint
+//! assert_eq!(assignment.producer, nodes[0]);
+//! assert!(!assignment.paths.is_empty());
+//! assert!(assignment.hops() <= 3); // the paper's hop constraint
 //! ```
 //!
 //! See `examples/` for runnable end-to-end scenarios and `crates/bench`
@@ -62,7 +63,9 @@ pub use livenet_types as types;
 
 /// The most common imports for building on LiveNet.
 pub mod prelude {
-    pub use livenet_brain::{BrainConfig, OverlayPath, PathLookup, StreamingBrain};
+    pub use livenet_brain::{
+        BrainConfig, OverlayPath, PathAssignment, PathLookup, StreamingBrain,
+    };
     pub use livenet_cc::{GccSender, PacedPacket, Pacer, PacerConfig, SendPriority};
     pub use livenet_media::{
         EncodedFrame, FrameKind, GopConfig, Rendition, SimulcastLadder, VideoEncoder,
@@ -72,7 +75,8 @@ pub mod prelude {
     };
     pub use livenet_packet::{MediaKind, Packetizer, RtcpPacket, RtpPacket};
     pub use livenet_sim::{
-        FleetConfig, FleetReport, FleetSim, PacketSim, PacketSimConfig, SessionRecord,
+        FleetConfig, FleetConfigBuilder, FleetReport, FleetRunner, FleetSim, PacketSim,
+        PacketSimConfig, SessionRecord,
     };
     pub use livenet_topology::{GeoConfig, GeoTopology, Topology};
     pub use livenet_types::{
