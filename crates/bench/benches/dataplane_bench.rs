@@ -20,7 +20,7 @@ fn sample_packets(n: usize) -> Vec<RtpPacket> {
     let mut out = Vec::new();
     let mut ts = 0u32;
     while out.len() < n {
-        let kind = if ts % 18000 == 0 { FrameKind::I } else { FrameKind::P };
+        let kind = if ts.is_multiple_of(18000) { FrameKind::I } else { FrameKind::P };
         let size = if kind == FrameKind::I { 8000 } else { 1000 };
         out.extend(p.packetize_with_meta(
             MediaKind::Video,
@@ -91,7 +91,7 @@ fn bench_pacer(c: &mut Criterion) {
                 let mut sent = 0;
                 while sent < 64 {
                     sent += pacer.poll(t).len();
-                    t = t + SimDuration::from_millis(1);
+                    t += SimDuration::from_millis(1);
                 }
                 sent
             },
@@ -178,7 +178,7 @@ fn bench_node_hot_path(c: &mut Criterion) {
                 let mut t = SimTime::from_millis(1);
                 for p in &packets {
                     let _ = node.on_datagram(t, NodeId::new(1), p.clone());
-                    t = t + SimDuration::from_micros(500);
+                    t += SimDuration::from_micros(500);
                 }
                 node.stats.forwarded
             },

@@ -18,8 +18,7 @@ pub fn first_days(sessions: &[SessionRecord], days: u32) -> Vec<SessionRecord> {
 pub fn table1(report: &FleetReport) {
     let ln = &report.livenet;
     let h = &report.hier;
-    let rows = vec![
-        (
+    let rows = [(
             "CDN path delay (ms)",
             median(ln, |s| f64::from(s.cdn_delay_ms)),
             median(h, |s| f64::from(s.cdn_delay_ms)),
@@ -48,8 +47,7 @@ pub fn table1(report: &FleetReport) {
             ratio_pct(ln, |s| s.fast_startup()),
             ratio_pct(h, |s| s.fast_startup()),
             "95 / 92",
-        ),
-    ];
+        )];
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|(name, l, hh, paper)| {
@@ -516,7 +514,8 @@ pub fn table3(report: &FleetReport) {
         ("Dec 11-12", group(&[10, 11])),
         ("Dec 13", group(&[12])),
     ];
-    let metric_rows: Vec<(&str, Box<dyn Fn(&[SessionRecord]) -> f64>, &str)> = vec![
+    type Metric = Box<dyn Fn(&[SessionRecord]) -> f64>;
+    let metric_rows: Vec<(&str, Metric, &str)> = vec![
         (
             "CDN path delay (ms)",
             Box::new(|s: &[SessionRecord]| median(s, |r| f64::from(r.cdn_delay_ms))),

@@ -159,6 +159,75 @@ impl StreamingBrain {
         self.path_request(stream, old, now)
     }
 
+    // ------------------------------------------------------------------
+    // Failure handling (§6.5, §7.2): mark elements down and recompute
+    // around them via the scoped topology update, so every later path
+    // request — and the rehoming of streams produced on dead nodes —
+    // avoids the failed element until it recovers.
+    // ------------------------------------------------------------------
+
+    /// A node was observed dead (missed reports / operator signal): mark
+    /// it down and rebuild the PIB around it.
+    pub fn node_failed(&mut self, node: NodeId) {
+        self.update_topology(|t| t.set_node_up(node, false));
+    }
+
+    /// A failed node came back; paths may use it again.
+    pub fn node_recovered(&mut self, node: NodeId) {
+        self.update_topology(|t| t.set_node_up(node, true));
+    }
+
+    /// Both directions of a link failed.
+    pub fn link_failed(&mut self, a: NodeId, b: NodeId) {
+        self.update_topology(|t| t.set_duplex_up(a, b, false));
+    }
+
+    /// A failed link recovered.
+    pub fn link_recovered(&mut self, a: NodeId, b: NodeId) {
+        self.update_topology(|t| t.set_duplex_up(a, b, true));
+    }
+
+    /// A whole region (country) went dark — the §6.5 Double-12 outage
+    /// scenario. Every node there goes down in ONE recompute. Returns the
+    /// affected node ids (deterministic order) so the driver can rehome
+    /// or tear down the streams produced there.
+    pub fn region_failed(&mut self, country: u32) -> Vec<NodeId> {
+        self.update_topology(|t| {
+            let victims: Vec<NodeId> = t.nodes_in_country(country).collect();
+            for &n in &victims {
+                t.set_node_up(n, false);
+            }
+            victims
+        })
+    }
+
+    /// The region's nodes recovered.
+    pub fn region_recovered(&mut self, country: u32) -> Vec<NodeId> {
+        self.update_topology(|t| {
+            let back: Vec<NodeId> = t.nodes_in_country(country).collect();
+            for &n in &back {
+                t.set_node_up(n, true);
+            }
+            back
+        })
+    }
+
+    /// Streams currently produced on `node` (deterministic order) — the
+    /// set that needs rehoming when the node dies.
+    pub fn streams_on(&self, node: NodeId) -> Vec<StreamId> {
+        let mut streams: Vec<StreamId> = self
+            .decision
+            .sib
+            .iter()
+            .filter(|&(_, p)| p == node)
+            .map(|(s, _)| s)
+            .collect();
+        // The SIB is a HashMap; callers (fault rehoming) need a
+        // deterministic order.
+        streams.sort_unstable();
+        streams
+    }
+
     /// Stream Management: a stream ended.
     pub fn unregister_stream(&mut self, stream: StreamId) {
         self.decision.sib.unregister(stream);
@@ -371,6 +440,101 @@ mod tests {
         assert_eq!(lookup.paths[0].consumer(), nodes[0]);
         // Unknown stream errors.
         assert!(b.rehome_producer(StreamId::new(99), nodes[1], SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn node_failure_reroutes_and_recovery_restores() {
+        let (mut b, nodes) = brain(10);
+        let victim = nodes[1];
+        let rounds = b.recompute_rounds;
+        b.node_failed(victim);
+        assert_eq!(b.recompute_rounds, rounds + 1);
+        // No PIB path touches the dead node at all (it is not merely
+        // deprioritized — it is out of the routable set).
+        for (_, paths) in b.decision().pib.iter() {
+            for p in paths {
+                assert!(!p.contains_node(victim), "path {p:?} crosses dead node");
+            }
+        }
+        // A path request between live nodes still succeeds.
+        let s = StreamId::new(4);
+        b.register_stream(s, nodes[0]);
+        let r = b.path_request(s, nodes[4], SimTime::ZERO).unwrap();
+        assert!(r.paths.iter().all(|p| !p.contains_node(victim)));
+        // Recovery restores the full mesh.
+        b.node_recovered(victim);
+        let n = b.topology().routable_node_ids().count();
+        assert_eq!(b.decision().pib.len(), n * (n - 1));
+    }
+
+    #[test]
+    fn link_failure_routes_around_and_back() {
+        let (mut b, nodes) = brain(11);
+        let s = StreamId::new(6);
+        b.register_stream(s, nodes[0]);
+        let direct = b.topology().link(nodes[0], nodes[2]).is_some();
+        b.link_failed(nodes[0], nodes[2]);
+        assert!(!b.topology().link_is_up(nodes[0], nodes[2]));
+        // Paths between the endpoints never use the dead link directly.
+        if direct {
+            let r = b.path_request(s, nodes[2], SimTime::ZERO).unwrap();
+            for p in &r.paths {
+                for w in p.nodes.windows(2) {
+                    assert!(
+                        !(w[0] == nodes[0] && w[1] == nodes[2]),
+                        "path uses the failed link"
+                    );
+                }
+            }
+        }
+        b.link_recovered(nodes[0], nodes[2]);
+        assert_eq!(b.topology().link_is_up(nodes[0], nodes[2]), direct);
+    }
+
+    #[test]
+    fn region_failure_downs_every_node_in_country() {
+        let (mut b, _) = brain(12);
+        let country = b.topology().nodes().next().unwrap().country;
+        let victims = b.region_failed(country);
+        assert!(!victims.is_empty());
+        for &v in &victims {
+            assert!(!b.topology().node_is_up(v));
+        }
+        for (_, paths) in b.decision().pib.iter() {
+            for p in paths {
+                for &v in &victims {
+                    assert!(!p.contains_node(v));
+                }
+            }
+        }
+        let back = b.region_recovered(country);
+        assert_eq!(victims, back);
+        for &v in &back {
+            assert!(b.topology().node_is_up(v));
+        }
+    }
+
+    #[test]
+    fn streams_on_lists_dead_nodes_streams_for_rehoming() {
+        let (mut b, nodes) = brain(13);
+        let s1 = StreamId::new(1);
+        let s2 = StreamId::new(2);
+        let s3 = StreamId::new(3);
+        b.register_stream(s1, nodes[0]);
+        b.register_stream(s2, nodes[1]);
+        b.register_stream(s3, nodes[0]);
+        assert_eq!(b.streams_on(nodes[0]), vec![s1, s3]);
+        assert_eq!(b.streams_on(nodes[1]), vec![s2]);
+        // Failure + rehoming flow: the dead producer's streams move.
+        b.node_failed(nodes[0]);
+        for s in b.streams_on(nodes[0]) {
+            // SIB rehoming happens before the bridge-path lookup, which may
+            // legitimately fail while the old producer is still down.
+            let _ = b.rehome_producer(s, nodes[2], SimTime::ZERO);
+        }
+        assert_eq!(b.producer_of(s1), Some(nodes[2]));
+        assert_eq!(b.producer_of(s3), Some(nodes[2]));
+        assert!(b.streams_on(nodes[0]).is_empty());
     }
 
     #[test]

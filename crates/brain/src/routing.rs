@@ -77,6 +77,11 @@ impl GlobalRouting {
             if nf.last_resort || nt.last_resort {
                 continue;
             }
+            // Failed links and links touching failed nodes are invisible to
+            // routing; their metrics survive for when they come back up.
+            if !topology.link_is_up(from, to) {
+                continue;
+            }
             let u = m.utilization.max(nf.utilization).max(nt.utilization);
             let w = link_weight(m.rtt, m.loss, u, self.config.weight);
             edges.push((from, to, w));
@@ -122,6 +127,9 @@ impl GlobalRouting {
             }
         }
         for w in path.nodes.windows(2) {
+            if !topology.link_is_up(w[0], w[1]) {
+                return false; // link (or an endpoint) is down
+            }
             if let Some(l) = topology.link(w[0], w[1]) {
                 if l.utilization >= self.config.overload_target {
                     return false;
@@ -287,6 +295,9 @@ impl GlobalRouting {
         let mut out: Vec<OverlayPath> = topology
             .last_resort_ids()
             .filter_map(|lr| {
+                if !topology.link_is_up(src, lr) || !topology.link_is_up(lr, dst) {
+                    return None;
+                }
                 let up = topology.link(src, lr)?;
                 let down = topology.link(lr, dst)?;
                 Some(OverlayPath {

@@ -88,7 +88,7 @@ proptest! {
     fn sigmoid_bounds(u in 0.0f64..1.0, du in 0.0f64..1.0) {
         let p = WeightParams::default();
         let f = sigmoid_factor(u, p);
-        prop_assert!(f >= 1.0 && f <= 2.0);
+        prop_assert!((1.0..=2.0).contains(&f));
         prop_assert!(sigmoid_factor((u + du).min(1.0), p) >= f - 1e-12);
     }
 }

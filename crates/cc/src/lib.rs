@@ -98,7 +98,7 @@ mod tests {
         );
         let mut now = SimTime::ZERO;
         for _ in 0..5 {
-            now = now + SimDuration::from_secs(1);
+            now += SimDuration::from_secs(1);
             s.on_loss_report(now, 0.2);
         }
         assert!(s.pacing_rate() < Bandwidth::from_kbps(1000));

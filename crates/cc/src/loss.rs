@@ -34,17 +34,24 @@ impl LossBasedController {
         self.rate
     }
 
-    /// Apply one receiver report. Updates are rate-limited to one per
-    /// 200 ms so a burst of reports cannot multiply the adjustment.
+    /// Apply one receiver report. Increases are rate-limited to one per
+    /// 200 ms so a burst of reports cannot multiply the adjustment, but a
+    /// multiplicative decrease must never wait out the hold: during a loss
+    /// episode the first report after an increase would otherwise be
+    /// swallowed and the sender would keep pushing into a lossy path for
+    /// another window.
     pub fn on_loss_report(&mut self, now: SimTime, loss_fraction: f64) {
-        if let Some(last) = self.last_update {
-            if now.saturating_since(last) < SimDuration::from_millis(200) {
-                return;
+        let fl = loss_fraction.clamp(0.0, 1.0);
+        let decrease = fl > 0.10;
+        if !decrease {
+            if let Some(last) = self.last_update {
+                if now.saturating_since(last) < SimDuration::from_millis(200) {
+                    return;
+                }
             }
         }
         self.last_update = Some(now);
-        let fl = loss_fraction.clamp(0.0, 1.0);
-        if fl > 0.10 {
+        if decrease {
             self.rate = self.rate.mul_f64(1.0 - 0.5 * fl);
         } else if fl < 0.02 {
             self.rate = self.rate.mul_f64(1.05);
@@ -95,6 +102,20 @@ mod tests {
         assert_eq!(c.rate(), Bandwidth::from_kbps(1050));
         c.on_loss_report(SimTime::from_millis(1300), 0.0);
         assert!(c.rate() > Bandwidth::from_kbps(1050));
+    }
+
+    #[test]
+    fn decrease_bypasses_hold_window() {
+        let mut c = ctl();
+        c.on_loss_report(SimTime::from_millis(1000), 0.0);
+        assert_eq!(c.rate(), Bandwidth::from_kbps(1050));
+        // Heavy loss 50 ms later must act immediately, not wait out the
+        // 200 ms hold started by the increase.
+        c.on_loss_report(SimTime::from_millis(1050), 0.2);
+        assert_eq!(c.rate(), Bandwidth::from_kbps(945)); // 1050 * 0.9
+        // The decrease restarts the hold for subsequent increases.
+        c.on_loss_report(SimTime::from_millis(1100), 0.0);
+        assert_eq!(c.rate(), Bandwidth::from_kbps(945));
     }
 
     #[test]

@@ -272,7 +272,7 @@ mod tests {
             let mut sent = 0;
             while sent < 20 {
                 sent += p.poll(now).len();
-                now = now + SimDuration::from_millis(5);
+                now += SimDuration::from_millis(5);
             }
             now
         };

@@ -31,7 +31,7 @@ fn run_queue(
         let arrival = queue_free_at + base_delay;
         est.on_packet(depart, arrival, pkt);
         trajectory.push((depart, est.estimate()));
-        depart = depart + send_gap;
+        depart += send_gap;
     }
     trajectory
 }
@@ -89,7 +89,7 @@ fn combined_sender_respects_both_signals() {
     // Clean reports let the loss-based side grow…
     let mut now = SimTime::ZERO;
     for _ in 0..10 {
-        now = now + SimDuration::from_millis(500);
+        now += SimDuration::from_millis(500);
         sender.on_loss_report(now, 0.0);
     }
     let grown = sender.pacing_rate();
@@ -99,7 +99,7 @@ fn combined_sender_respects_both_signals() {
     assert_eq!(sender.pacing_rate(), Bandwidth::from_kbps(900));
     // And heavy loss pulls the loss-based side below the REMB.
     for _ in 0..20 {
-        now = now + SimDuration::from_millis(500);
+        now += SimDuration::from_millis(500);
         sender.on_loss_report(now, 0.3);
     }
     assert!(sender.pacing_rate() < Bandwidth::from_kbps(900));

@@ -20,10 +20,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod link;
 pub mod queue;
 pub mod sim;
 
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use link::{LinkConfig, LinkStats, LossModel};
 pub use queue::EventQueue;
 pub use sim::{Action, Ctx, Datagram, Host, NetSim, TimerKey};

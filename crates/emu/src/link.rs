@@ -92,6 +92,9 @@ pub struct LinkStats {
     pub lost_random: u64,
     /// Packets dropped because the queue was full.
     pub lost_queue: u64,
+    /// Packets dropped because the link was administratively down
+    /// (fault injection).
+    pub lost_down: u64,
     /// Total payload bytes delivered.
     pub bytes: u64,
 }
@@ -99,7 +102,7 @@ pub struct LinkStats {
 impl LinkStats {
     /// Total send attempts.
     pub fn attempts(&self) -> u64 {
-        self.delivered + self.lost_random + self.lost_queue
+        self.delivered + self.lost_random + self.lost_queue + self.lost_down
     }
 
     /// Observed loss rate over all attempts.
@@ -108,7 +111,7 @@ impl LinkStats {
         if a == 0 {
             0.0
         } else {
-            (self.lost_random + self.lost_queue) as f64 / a as f64
+            (self.lost_random + self.lost_queue + self.lost_down) as f64 / a as f64
         }
     }
 }
@@ -122,6 +125,11 @@ pub struct LinkState {
     pub busy_until: SimTime,
     /// Gilbert–Elliott state: true = bad.
     pub ge_bad: bool,
+    /// Administrative liveness: a down link drops everything offered.
+    pub up: bool,
+    /// Loss model saved across a fault-injected loss-burst episode, so
+    /// the burst's end can restore the steady-state model.
+    pub burst_base: Option<LossModel>,
     /// Counters.
     pub stats: LinkStats,
 }
@@ -138,6 +146,8 @@ pub enum SendOutcome {
     LostRandom,
     /// Dropped because the serialization queue was full.
     LostQueue,
+    /// Dropped because the link is administratively down.
+    LostDown,
 }
 
 impl LinkState {
@@ -147,12 +157,20 @@ impl LinkState {
             config,
             busy_until: SimTime::ZERO,
             ge_bad: false,
+            up: true,
+            burst_base: None,
             stats: LinkStats::default(),
         }
     }
 
     /// Offer a packet of `bytes` bytes at time `now`.
     pub fn send(&mut self, now: SimTime, bytes: usize, rng: &mut DetRng) -> SendOutcome {
+        // A down link blackholes everything before any RNG is consumed,
+        // so an outage window never perturbs the loss-model stream.
+        if !self.up {
+            self.stats.lost_down += 1;
+            return SendOutcome::LostDown;
+        }
         // Random loss first (models the physical path, not our queue).
         let lost = match self.config.loss {
             LossModel::None => false,
@@ -283,7 +301,7 @@ mod tests {
         let mut now = SimTime::ZERO;
         for _ in 0..20_000 {
             link.send(now, 100, &mut rng);
-            now = now + SimDuration::from_millis(1);
+            now += SimDuration::from_millis(1);
         }
         let rate = link.stats.loss_rate();
         assert!((rate - 0.1).abs() < 0.01, "rate={rate}");
@@ -308,7 +326,7 @@ mod tests {
         let mut now = SimTime::ZERO;
         for _ in 0..100_000 {
             link.send(now, 100, &mut rng);
-            now = now + SimDuration::from_micros(100);
+            now += SimDuration::from_micros(100);
         }
         let rate = link.stats.loss_rate();
         assert!((rate - model.mean_loss()).abs() < 0.01, "rate={rate}");

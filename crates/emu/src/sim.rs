@@ -1,10 +1,11 @@
 //! The network emulator proper: hosts, datagram delivery, timers.
 
+use crate::fault::{FaultKind, FaultPlan};
 use crate::link::{LinkConfig, LinkState, LinkStats, SendOutcome};
 use crate::queue::EventQueue;
 use bytes::Bytes;
 use livenet_types::{DetRng, NodeId, SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// An opaque timer key chosen by the host; redelivered on expiry.
 pub type TimerKey = u64;
@@ -80,12 +81,23 @@ pub trait Host {
     fn on_timer(&mut self, ctx: &mut Ctx, key: TimerKey);
     /// Called once when the simulation starts, to arm initial timers.
     fn on_start(&mut self, _ctx: &mut Ctx) {}
+    /// The host's process crashed (fault injection): drop volatile state.
+    /// No `Ctx` — a dead process sends nothing.
+    fn on_crash(&mut self) {}
+    /// The host restarts after a crash with its volatile state already
+    /// cleared by [`Host::on_crash`]. Defaults to re-running start-up.
+    fn on_restart(&mut self, ctx: &mut Ctx) {
+        self.on_start(ctx);
+    }
 }
 
 #[derive(Debug)]
 enum Event {
     Arrival(Datagram),
-    Timer(NodeId, TimerKey),
+    /// Timer with the owner's crash epoch at scheduling time: timers armed
+    /// before a crash must not fire after the restart.
+    Timer(NodeId, TimerKey, u64),
+    Fault(FaultKind),
 }
 
 /// The deterministic network emulator.
@@ -95,8 +107,14 @@ pub struct NetSim<H: Host> {
     queue: EventQueue<Event>,
     rng: DetRng,
     started: bool,
+    /// Nodes currently crashed by fault injection.
+    down: BTreeSet<NodeId>,
+    /// Per-node crash epoch; bumping it cancels pre-crash timers.
+    epochs: HashMap<NodeId, u64>,
     /// Count of sends addressed to nodes with no configured link (dropped).
     pub no_route_drops: u64,
+    /// Count of datagrams blackholed at a crashed host.
+    pub fault_drops: u64,
 }
 
 impl<H: Host> NetSim<H> {
@@ -108,7 +126,10 @@ impl<H: Host> NetSim<H> {
             queue: EventQueue::new(),
             rng: DetRng::seed(seed).fork("netsim"),
             started: false,
+            down: BTreeSet::new(),
+            epochs: HashMap::new(),
             no_route_drops: 0,
+            fault_drops: 0,
         }
     }
 
@@ -168,6 +189,29 @@ impl<H: Host> NetSim<H> {
         self.hosts.remove(&id)
     }
 
+    /// Schedule one fault for execution at `at`.
+    pub fn schedule_fault(&mut self, at: SimTime, kind: FaultKind) {
+        self.queue.schedule(at, Event::Fault(kind));
+    }
+
+    /// Schedule every event of a fault plan.
+    pub fn schedule_fault_plan(&mut self, plan: &FaultPlan) {
+        for ev in plan.events() {
+            self.schedule_fault(ev.at, ev.kind);
+        }
+    }
+
+    /// Whether a node is currently crashed by fault injection.
+    pub fn node_is_down(&self, id: NodeId) -> bool {
+        self.down.contains(&id)
+    }
+
+    /// Whether a directed link is administratively up (true when absent
+    /// links are queried returns false).
+    pub fn link_is_up(&self, from: NodeId, to: NodeId) -> bool {
+        self.links.get(&(from, to)).is_some_and(|l| l.up)
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.queue.now()
@@ -180,11 +224,16 @@ impl<H: Host> NetSim<H> {
 
     /// Invoke a closure on a host with a [`Ctx`], applying resulting actions.
     /// Used to inject external stimuli (client requests) deterministically.
+    /// Returns `None` for unknown hosts and for hosts currently crashed by
+    /// fault injection (a dead process accepts no stimuli).
     pub fn with_host<R>(
         &mut self,
         id: NodeId,
         f: impl FnOnce(&mut H, &mut Ctx) -> R,
     ) -> Option<R> {
+        if self.down.contains(&id) {
+            return None;
+        }
         let mut ctx = Ctx {
             now: self.queue.now(),
             actions: Vec::new(),
@@ -229,11 +278,15 @@ impl<H: Host> NetSim<H> {
                                 Event::Arrival(Datagram { from, to, payload }),
                             );
                         }
-                        SendOutcome::LostRandom | SendOutcome::LostQueue => {}
+                        SendOutcome::LostRandom
+                        | SendOutcome::LostQueue
+                        | SendOutcome::LostDown => {}
                     }
                 }
                 Action::SetTimer { at, key } => {
-                    self.queue.schedule(at.max(now), Event::Timer(from, key));
+                    let epoch = self.epochs.get(&from).copied().unwrap_or(0);
+                    self.queue
+                        .schedule(at.max(now), Event::Timer(from, key, epoch));
                 }
             }
         }
@@ -261,12 +314,30 @@ impl<H: Host> NetSim<H> {
     }
 
     fn dispatch(&mut self, now: SimTime, event: Event) {
-        let (node, run): (NodeId, Box<dyn FnOnce(&mut H, &mut Ctx)>) = match event {
-            Event::Arrival(d) => (
-                d.to,
-                Box::new(move |h, ctx| h.on_datagram(ctx, d.from, d.payload)),
-            ),
-            Event::Timer(node, key) => (node, Box::new(move |h, ctx| h.on_timer(ctx, key))),
+        type Deliver<H> = Box<dyn FnOnce(&mut H, &mut Ctx)>;
+        let (node, run): (NodeId, Deliver<H>) = match event {
+            Event::Arrival(d) => {
+                if self.down.contains(&d.to) {
+                    self.fault_drops += 1;
+                    return; // blackholed at the crashed host
+                }
+                (
+                    d.to,
+                    Box::new(move |h, ctx| h.on_datagram(ctx, d.from, d.payload)),
+                )
+            }
+            Event::Timer(node, key, epoch) => {
+                if self.down.contains(&node)
+                    || self.epochs.get(&node).copied().unwrap_or(0) != epoch
+                {
+                    return; // cancelled by a crash
+                }
+                (node, Box::new(move |h, ctx| h.on_timer(ctx, key)))
+            }
+            Event::Fault(kind) => {
+                self.apply_fault(now, kind);
+                return;
+            }
         };
         let Some(host) = self.hosts.get_mut(&node) else {
             return; // host was removed; drop the event
@@ -277,6 +348,56 @@ impl<H: Host> NetSim<H> {
         };
         run(host, &mut ctx);
         self.apply_actions(node, ctx.actions);
+    }
+
+    fn apply_fault(&mut self, now: SimTime, kind: FaultKind) {
+        match kind {
+            FaultKind::NodeCrash { node } => {
+                if self.hosts.contains_key(&node) && self.down.insert(node) {
+                    *self.epochs.entry(node).or_insert(0) += 1;
+                    if let Some(h) = self.hosts.get_mut(&node) {
+                        h.on_crash();
+                    }
+                }
+            }
+            FaultKind::NodeRestart { node } => {
+                if self.down.remove(&node) {
+                    let mut ctx = Ctx {
+                        now,
+                        actions: Vec::new(),
+                    };
+                    if let Some(h) = self.hosts.get_mut(&node) {
+                        h.on_restart(&mut ctx);
+                    }
+                    self.apply_actions(node, ctx.actions);
+                }
+            }
+            FaultKind::LinkDown { from, to } => {
+                if let Some(l) = self.links.get_mut(&(from, to)) {
+                    l.up = false;
+                }
+            }
+            FaultKind::LinkUp { from, to } => {
+                if let Some(l) = self.links.get_mut(&(from, to)) {
+                    l.up = true;
+                }
+            }
+            FaultKind::LossBurst { from, to, loss } => {
+                if let Some(l) = self.links.get_mut(&(from, to)) {
+                    if l.burst_base.is_none() {
+                        l.burst_base = Some(l.config.loss);
+                    }
+                    l.config.loss = crate::link::LossModel::Bernoulli { p: loss };
+                }
+            }
+            FaultKind::LossBurstEnd { from, to } => {
+                if let Some(l) = self.links.get_mut(&(from, to)) {
+                    if let Some(base) = l.burst_base.take() {
+                        l.config.loss = base;
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -406,6 +527,146 @@ mod tests {
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10)); // and seeds matter (w.h.p.)
+    }
+
+    #[test]
+    fn crashed_host_blackholes_and_restart_revives() {
+        let a = NodeId::new(1);
+        let b = NodeId::new(2);
+        let mut sim = NetSim::new(1);
+        sim.add_host(a, Echo::default());
+        sim.add_host(b, Echo::default());
+        sim.add_duplex(a, b, link());
+        sim.schedule_fault(SimTime::from_millis(100), FaultKind::NodeCrash { node: b });
+        sim.schedule_fault(SimTime::from_millis(300), FaultKind::NodeRestart { node: b });
+        // Before the crash: delivered.
+        sim.with_host(a, |_, ctx| ctx.send(b, Bytes::from_static(b"1")));
+        sim.run_until(SimTime::from_millis(150));
+        assert_eq!(sim.host(b).unwrap().received.len(), 1);
+        assert!(sim.node_is_down(b));
+        // During the outage: blackholed, and with_host refuses the victim.
+        sim.with_host(a, |_, ctx| ctx.send(b, Bytes::from_static(b"2")));
+        assert!(sim.with_host(b, |_, _| ()).is_none());
+        sim.run_until(SimTime::from_millis(250));
+        assert_eq!(sim.host(b).unwrap().received.len(), 1);
+        assert_eq!(sim.fault_drops, 1);
+        // After restart: delivered again.
+        sim.run_until(SimTime::from_millis(350));
+        assert!(!sim.node_is_down(b));
+        sim.with_host(a, |_, ctx| ctx.send(b, Bytes::from_static(b"3")));
+        sim.run_until(SimTime::from_millis(400));
+        assert_eq!(sim.host(b).unwrap().received.len(), 2);
+    }
+
+    #[test]
+    fn crash_cancels_pre_crash_timers() {
+        let a = NodeId::new(1);
+        let mut sim = NetSim::new(1);
+        sim.add_host(a, Echo::default());
+        sim.with_host(a, |_, ctx| {
+            ctx.set_timer_after(SimDuration::from_millis(50), 1);
+            ctx.set_timer_after(SimDuration::from_millis(500), 2);
+        });
+        sim.schedule_fault(SimTime::from_millis(100), FaultKind::NodeCrash { node: a });
+        sim.schedule_fault(SimTime::from_millis(200), FaultKind::NodeRestart { node: a });
+        sim.run_until(SimTime::from_secs(1));
+        // Timer 1 fired before the crash; timer 2 was cancelled by it even
+        // though the node was back up at its expiry.
+        assert_eq!(sim.host(a).unwrap().timers, vec![1]);
+    }
+
+    #[test]
+    fn link_down_drops_until_link_up() {
+        let a = NodeId::new(1);
+        let b = NodeId::new(2);
+        let mut sim = NetSim::new(1);
+        sim.add_host(a, Echo::default());
+        sim.add_host(b, Echo::default());
+        sim.add_duplex(a, b, link());
+        sim.schedule_fault(SimTime::from_millis(10), FaultKind::LinkDown { from: a, to: b });
+        sim.schedule_fault(SimTime::from_millis(100), FaultKind::LinkUp { from: a, to: b });
+        sim.run_until(SimTime::from_millis(20));
+        assert!(!sim.link_is_up(a, b));
+        assert!(sim.link_is_up(b, a)); // directional
+        sim.with_host(a, |_, ctx| ctx.send(b, Bytes::from_static(b"x")));
+        sim.run_until(SimTime::from_millis(90));
+        assert_eq!(sim.host(b).unwrap().received.len(), 0);
+        assert_eq!(sim.link_stats(a, b).unwrap().lost_down, 1);
+        sim.run_until(SimTime::from_millis(110));
+        sim.with_host(a, |_, ctx| ctx.send(b, Bytes::from_static(b"y")));
+        sim.run_until(SimTime::from_millis(200));
+        assert_eq!(sim.host(b).unwrap().received.len(), 1);
+    }
+
+    #[test]
+    fn loss_burst_applies_and_restores_model() {
+        let a = NodeId::new(1);
+        let b = NodeId::new(2);
+        let mut sim = NetSim::new(3);
+        sim.add_host(a, Echo::default());
+        sim.add_host(b, Echo::default());
+        sim.add_duplex(a, b, link());
+        let mut plan = FaultPlan::new();
+        plan.loss_burst(
+            SimTime::from_millis(100),
+            SimDuration::from_millis(200),
+            a,
+            b,
+            1.0,
+        );
+        sim.schedule_fault_plan(&plan);
+        sim.run_until(SimTime::from_millis(150));
+        for _ in 0..20 {
+            sim.with_host(a, |_, ctx| ctx.send(b, Bytes::from_static(b"x")));
+        }
+        sim.run_until(SimTime::from_millis(290));
+        assert_eq!(sim.host(b).unwrap().received.len(), 0); // all lost in burst
+        sim.run_until(SimTime::from_millis(310));
+        for _ in 0..20 {
+            sim.with_host(a, |_, ctx| ctx.send(b, Bytes::from_static(b"x")));
+        }
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.host(b).unwrap().received.len(), 20); // model restored
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let run = || {
+            let a = NodeId::new(1);
+            let b = NodeId::new(2);
+            let mut sim = NetSim::new(11);
+            sim.add_host(a, Echo::default());
+            sim.add_host(b, Echo { echo: true, ..Default::default() });
+            let mut cfg = link();
+            cfg.loss = crate::link::LossModel::Bernoulli { p: 0.2 };
+            sim.add_duplex(a, b, cfg);
+            let mut plan = FaultPlan::new();
+            plan.outage(
+                SimTime::from_millis(40),
+                SimDuration::from_millis(30),
+                b,
+            );
+            plan.loss_burst(
+                SimTime::from_millis(90),
+                SimDuration::from_millis(40),
+                a,
+                b,
+                0.9,
+            );
+            sim.schedule_fault_plan(&plan);
+            for i in 0..200u64 {
+                sim.run_until(SimTime::from_millis(i));
+                sim.with_host(a, |_, ctx| ctx.send(b, Bytes::from_static(b"d")));
+            }
+            sim.run_until(SimTime::from_secs(1));
+            (
+                sim.host(a).unwrap().received.len(),
+                sim.host(b).unwrap().received.len(),
+                sim.fault_drops,
+                sim.link_stats(a, b).unwrap().lost_down,
+            )
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -76,7 +76,7 @@ impl GopConfig {
             } else {
                 (1.0 / self.unref_b_fraction).round().max(1.0) as u32
             };
-            if unref_every != u32::MAX && in_cycle % unref_every == 0 {
+            if unref_every != u32::MAX && in_cycle.is_multiple_of(unref_every) {
                 FrameKind::BUnref
             } else {
                 FrameKind::B

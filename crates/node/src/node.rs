@@ -41,11 +41,14 @@ pub enum TimerKind {
     RrTick,
     /// A pacer for one peer has queued data.
     PacerPoll(Subscriber),
+    /// The upstream-liveness check (RTCP-silence failure detection, §7.1).
+    Liveness,
 }
 
 const KIND_SCAN: u64 = 1;
 const KIND_RR: u64 = 2;
 const KIND_PACER: u64 = 3;
+const KIND_LIVENESS: u64 = 4;
 const CLIENT_BIT: u64 = 1 << 55;
 
 impl TimerKind {
@@ -58,6 +61,7 @@ impl TimerKind {
             TimerKind::PacerPoll(Subscriber::Client(c)) => {
                 (KIND_PACER << 56) | CLIENT_BIT | c.raw()
             }
+            TimerKind::Liveness => KIND_LIVENESS << 56,
         }
     }
 
@@ -66,6 +70,7 @@ impl TimerKind {
         match key >> 56 {
             KIND_SCAN => Some(TimerKind::LossScan),
             KIND_RR => Some(TimerKind::RrTick),
+            KIND_LIVENESS => Some(TimerKind::Liveness),
             KIND_PACER => {
                 let aux = key & ((1 << 56) - 1);
                 if aux & CLIENT_BIT != 0 {
@@ -110,6 +115,13 @@ pub struct NodeConfig {
     /// only by the ablation harness — without it, a new viewer waits for
     /// the next I frame.
     pub startup_burst: bool,
+    /// Liveness-check period for upstream-death detection.
+    pub liveness_interval: SimDuration,
+    /// Silence threshold after which an upstream is declared dead: no RTP
+    /// or RTCP heard for this long. Must exceed several RR intervals so a
+    /// healthy-but-idle upstream (which still reports) is never declared
+    /// dead on media gaps alone.
+    pub upstream_timeout: SimDuration,
 }
 
 impl NodeConfig {
@@ -128,6 +140,8 @@ impl NodeConfig {
             min_rate: Bandwidth::from_kbps(200),
             max_rate: Bandwidth::from_gbps(2),
             startup_burst: true,
+            liveness_interval: SimDuration::from_millis(500),
+            upstream_timeout: SimDuration::from_millis(2500),
         }
     }
 }
@@ -199,6 +213,21 @@ pub enum NodeEvent {
         /// New (lower) rendition stream.
         to: StreamId,
     },
+    /// An upstream was declared dead after RTCP silence (§7.1 failover).
+    UpstreamDead {
+        /// Stream whose feed stopped.
+        stream: StreamId,
+        /// The silent upstream.
+        upstream: NodeId,
+    },
+    /// No cached backup path avoids the dead element: the driver must ask
+    /// the Brain for a fresh path (the slow recovery path).
+    PathRequestNeeded {
+        /// Stream that needs a new path.
+        stream: StreamId,
+        /// The failed upstream to route around.
+        dead: NodeId,
+    },
 }
 
 /// Actions requested by the node.
@@ -241,6 +270,8 @@ pub struct NodeStats {
     pub subs_received: u64,
     /// Local hits (stream already present when a subscription arrived).
     pub local_hits: u64,
+    /// Upstreams declared dead and failed over (fast or slow path).
+    pub upstream_failovers: u64,
 }
 
 /// A packet waiting in a peer's pacer.
@@ -282,9 +313,25 @@ pub struct OverlayNode {
     producers: HashMap<StreamId, ProducerState>,
     ladders: HashMap<StreamId, SimulcastLadder>,
     neighbor_rtt: HashMap<NodeId, SimDuration>,
+    /// Last time anything (RTP or RTCP) was heard from each neighbor;
+    /// feeds the upstream-liveness check.
+    last_heard: HashMap<NodeId, SimTime>,
+    /// Cached candidate paths per stream (producer-first, ending here):
+    /// the Brain's K paths from the original lookup plus any prefetched
+    /// backups. The fast failover path re-subscribes along the first
+    /// cached path that avoids the failed element (§7.1 backup paths).
+    path_cache: HashMap<StreamId, Vec<Vec<NodeId>>>,
+    /// Downstream NACKs we could not serve because the packet was missing
+    /// from our own cache (lost on our upstream link too). Served the
+    /// moment the packet arrives — typically as our own recovery — instead
+    /// of making the downstream wait out another NACK retry round.
+    pending_rtx: HashMap<StreamId, BTreeMap<u16, Vec<NodeId>>>,
     /// Telemetry.
     pub stats: NodeStats,
 }
+
+/// Bound on remembered unserviceable NACKs per stream.
+const MAX_PENDING_RTX: usize = 1_024;
 
 impl OverlayNode {
     /// Build a node. Call [`Self::start`] to arm the periodic timers.
@@ -307,6 +354,9 @@ impl OverlayNode {
             producers: HashMap::new(),
             ladders: HashMap::new(),
             neighbor_rtt: HashMap::new(),
+            last_heard: HashMap::new(),
+            path_cache: HashMap::new(),
+            pending_rtx: HashMap::new(),
             stats: NodeStats::default(),
         }
     }
@@ -353,7 +403,56 @@ impl OverlayNode {
                 at: now + self.cfg.rr_interval,
                 key: TimerKind::RrTick.encode(),
             },
+            NodeAction::SetTimer {
+                at: now + self.cfg.liveness_interval,
+                key: TimerKind::Liveness.encode(),
+            },
         ]
+    }
+
+    /// Install candidate paths (producer-first, ending at this node) for a
+    /// stream — the Brain's K-path lookup result or prefetched backups.
+    /// The upstream-failover fast path picks from these.
+    pub fn install_paths(&mut self, stream: StreamId, paths: &[Vec<NodeId>]) {
+        let entry = self.path_cache.entry(stream).or_default();
+        for p in paths {
+            if p.len() >= 2 && !entry.contains(p) {
+                entry.push(p.clone());
+            }
+        }
+    }
+
+    /// Cached candidate paths for a stream.
+    pub fn cached_paths(&self, stream: StreamId) -> &[Vec<NodeId>] {
+        self.path_cache
+            .get(&stream)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Drop all volatile state after a process crash, keeping only the
+    /// static config and the driver-provided neighbor RTT hints. The
+    /// restarted process re-arms its timers via [`Self::start`] and
+    /// re-learns everything else from the network.
+    pub fn crash_reset(&mut self) {
+        self.fib = StreamFib::new();
+        self.upstream.clear();
+        self.pending.clear();
+        self.switching_from.clear();
+        self.waiting_ok.clear();
+        self.caches.clear();
+        self.rx.clear();
+        self.depack.clear();
+        self.gcc_rx.clear();
+        self.gcc_tx.clear();
+        self.pacers.clear();
+        self.pacer_armed.clear();
+        self.clients.clear();
+        self.producers.clear();
+        self.ladders.clear();
+        self.last_heard.clear();
+        self.path_cache.clear();
+        self.pending_rtx.clear();
     }
 
     // ------------------------------------------------------------------
@@ -504,6 +603,7 @@ impl OverlayNode {
             }));
             self.send_startup_burst(now, stream, peer, actions);
         } else if let Some(path) = path {
+            self.install_paths(stream, std::slice::from_ref(&path.to_vec()));
             self.subscribe_upstream(now, stream, path, actions);
         }
         stream
@@ -582,6 +682,7 @@ impl OverlayNode {
         new_path: &[NodeId],
     ) -> Vec<NodeAction> {
         let mut actions = Vec::new();
+        self.install_paths(stream, std::slice::from_ref(&new_path.to_vec()));
         let Some(&old) = self.upstream.get(&stream) else {
             // Nothing established yet: treat as a fresh subscription.
             self.subscribe_upstream(now, stream, new_path, &mut actions);
@@ -611,6 +712,7 @@ impl OverlayNode {
         payload: Bytes,
     ) -> Vec<NodeAction> {
         let mut actions = Vec::new();
+        self.last_heard.insert(from, now);
         let Ok(msg) = OverlayMsg::decode(payload) else {
             return actions; // malformed; drop
         };
@@ -685,6 +787,7 @@ impl OverlayNode {
         }
 
         self.slow_path_insert(now, stream, &packet, actions);
+        self.serve_pending_rtx(now, stream, &packet, actions);
 
         // Fast path: retransmissions are recoveries for *this* node's slow
         // path; downstream NODES request their own via NACK (§3's A→B→C
@@ -696,6 +799,37 @@ impl OverlayNode {
             self.forward_recovery_to_clients(now, stream, &packet, actions);
         } else {
             self.fast_path_forward(now, stream, &packet, false, actions);
+        }
+    }
+
+    /// Serve downstream nodes whose NACK for this sequence number arrived
+    /// before we had the packet ourselves.
+    fn serve_pending_rtx(
+        &mut self,
+        now: SimTime,
+        stream: StreamId,
+        packet: &RtpPacket,
+        actions: &mut Vec<NodeAction>,
+    ) {
+        let Some(pend) = self.pending_rtx.get_mut(&stream) else {
+            return;
+        };
+        let Some(waiters) = pend.remove(&packet.header.seq.0) else {
+            return;
+        };
+        if pend.is_empty() {
+            self.pending_rtx.remove(&stream);
+        }
+        for peer in waiters {
+            self.stats.rtx_served += 1;
+            self.enqueue_to_peer(
+                now,
+                Subscriber::Node(peer),
+                stream,
+                packet.clone(),
+                true,
+                actions,
+            );
         }
     }
 
@@ -732,19 +866,34 @@ impl OverlayNode {
         let peer = Subscriber::Node(from);
         match rtcp {
             RtcpPacket::Nack(Nack { lost, .. }) => {
-                // Serve retransmissions from the packet cache.
+                // Serve retransmissions from the packet cache; remember
+                // what we could not serve so the arrival of our own
+                // recovery forwards it without another downstream retry.
                 let mut to_send = Vec::new();
+                let mut unavailable = Vec::new();
                 if let Some(cache) = self.caches.get(&stream) {
                     for seq in lost {
                         match cache.get(seq) {
                             Some(pkt) => to_send.push(pkt.clone()),
-                            None => self.stats.rtx_unavailable += 1,
+                            None => unavailable.push(seq),
                         }
                     }
+                } else {
+                    unavailable = lost;
                 }
                 for pkt in to_send {
                     self.stats.rtx_served += 1;
                     self.enqueue_to_peer(now, peer, stream, pkt, true, actions);
+                }
+                for seq in unavailable {
+                    self.stats.rtx_unavailable += 1;
+                    let pend = self.pending_rtx.entry(stream).or_default();
+                    if pend.len() < MAX_PENDING_RTX {
+                        let waiters = pend.entry(seq.0).or_default();
+                        if !waiters.contains(&from) {
+                            waiters.push(from);
+                        }
+                    }
                 }
             }
             RtcpPacket::ReceiverReport(ReceiverReport { loss_fraction, .. }) => {
@@ -899,9 +1048,91 @@ impl OverlayNode {
                 self.pacer_armed.remove(&peer);
                 self.flush_pacer(now, peer, &mut actions);
             }
+            Some(TimerKind::Liveness) => {
+                self.liveness_check(now, &mut actions);
+                actions.push(NodeAction::SetTimer {
+                    at: now + self.cfg.liveness_interval,
+                    key: TimerKind::Liveness.encode(),
+                });
+            }
             None => {}
         }
         actions
+    }
+
+    /// Declare upstreams dead after prolonged silence and fail over: first
+    /// to a cached backup path avoiding the dead element (fast, ≈ one
+    /// subscribe RTT), otherwise surface [`NodeEvent::PathRequestNeeded`]
+    /// so the driver asks the Brain (slow, a control-plane round trip).
+    fn liveness_check(&mut self, now: SimTime, actions: &mut Vec<NodeAction>) {
+        let timeout = self.cfg.upstream_timeout;
+        // Silent upstreams, deduped and sorted: HashMap iteration order is
+        // not deterministic across processes, and the emitted action order
+        // must be.
+        let mut dead: Vec<NodeId> = self
+            .upstream
+            .values()
+            .chain(self.pending.values())
+            .copied()
+            .filter(|up| {
+                self.last_heard
+                    .get(up)
+                    .is_some_and(|&heard| now.saturating_since(heard) >= timeout)
+            })
+            .collect();
+        dead.sort();
+        dead.dedup();
+        for up in dead {
+            self.fail_over_upstream(now, up, actions);
+        }
+    }
+
+    /// Route every stream fed by `dead` onto a different path.
+    fn fail_over_upstream(
+        &mut self,
+        now: SimTime,
+        dead: NodeId,
+        actions: &mut Vec<NodeAction>,
+    ) {
+        let mut streams: Vec<StreamId> = self
+            .upstream
+            .iter()
+            .filter(|&(_, &u)| u == dead)
+            .map(|(&s, _)| s)
+            .chain(
+                self.pending
+                    .iter()
+                    .filter(|&(_, &u)| u == dead)
+                    .map(|(&s, _)| s),
+            )
+            .collect();
+        streams.sort();
+        streams.dedup();
+        self.last_heard.remove(&dead);
+        self.gcc_rx.remove(&dead);
+        for stream in streams {
+            self.upstream.remove(&stream);
+            self.pending.remove(&stream);
+            self.switching_from.remove(&stream);
+            self.stats.upstream_failovers += 1;
+            actions.push(NodeAction::Event(NodeEvent::UpstreamDead {
+                stream,
+                upstream: dead,
+            }));
+            let backup = self.path_cache.get(&stream).and_then(|paths| {
+                paths
+                    .iter()
+                    .find(|p| p.len() >= 2 && !p.contains(&dead))
+                    .cloned()
+            });
+            match backup {
+                Some(path) => self.subscribe_upstream(now, stream, &path, actions),
+                None => actions.push(NodeAction::Event(NodeEvent::PathRequestNeeded {
+                    stream,
+                    dead,
+                })),
+            }
+        }
     }
 
     fn loss_scan(&mut self, now: SimTime, actions: &mut Vec<NodeAction>) {
@@ -940,7 +1171,11 @@ impl OverlayNode {
             let Some(&up) = self.upstream.get(&stream) else {
                 continue;
             };
-            let (loss, highest, jitter) = rx.rr_stats();
+            // No report until the first packet: a `highest_seq` of zero
+            // would read as "receiver is a full window behind".
+            let Some((loss, highest, jitter)) = rx.rr_stats() else {
+                continue;
+            };
             reports.push((up, stream, loss, highest, jitter));
         }
         for (up, stream, loss, highest, jitter) in reports {
@@ -1059,6 +1294,7 @@ impl OverlayNode {
         self.rx.remove(&stream);
         self.depack.remove(&stream);
         self.caches.remove(&stream);
+        self.pending_rtx.remove(&stream);
     }
 
     /// Slow-path: cache + framing (§5.1's GoP caching and Framing Control).

@@ -34,6 +34,17 @@ pub enum RxOutcome {
     Duplicate,
 }
 
+/// Forward jumps larger than this are treated as a stream reset (encoder
+/// restart, rejoin after failover) rather than as loss: inserting one hole
+/// per skipped sequence number would flood `missing` with thousands of
+/// entries and NACK-storm the upstream for packets that never existed.
+const RESET_JUMP: i32 = 3_000;
+
+/// Upper bound on tracked holes. When exceeded, the oldest holes (in
+/// sequence order) are abandoned so state stays bounded under pathological
+/// loss.
+const MAX_MISSING: usize = 4_096;
+
 /// Slow-path receive state for one (upstream, stream) pair.
 #[derive(Debug)]
 pub struct RxState {
@@ -106,10 +117,24 @@ impl RxState {
                 RxOutcome::Fresh
             }
             Some(h) if seq.newer_than(h) => {
-                // Mark intermediate holes.
                 let gap = seq.distance(h);
+                if gap > RESET_JUMP {
+                    // Stream reset: abandon outstanding holes instead of
+                    // manufacturing `gap − 1` new ones.
+                    self.abandoned += self.missing.len() as u64;
+                    self.missing.clear();
+                    self.highest = Some(seq);
+                    self.received += 1;
+                    self.expected += 1;
+                    return RxOutcome::Fresh;
+                }
+                // Mark intermediate holes, keeping the map bounded.
                 let mut s = h.next();
                 for _ in 1..gap {
+                    if self.missing.len() >= MAX_MISSING
+                        && self.missing.pop_first().is_some() {
+                            self.abandoned += 1;
+                        }
                     self.missing.insert(
                         s.0,
                         MissingEntry {
@@ -177,7 +202,13 @@ impl RxState {
 
     /// Produce receiver-report statistics for the window since the last
     /// call: `(loss_fraction, highest_seq, jitter_us)`.
-    pub fn rr_stats(&mut self) -> (f64, SeqNo, u32) {
+    ///
+    /// Returns `None` before the first packet arrives: there is no highest
+    /// sequence number to report yet, and sending a report claiming
+    /// `highest_seq = 0` would tell the upstream we are behind by however
+    /// far its own sequence counter has advanced.
+    pub fn rr_stats(&mut self) -> Option<(f64, SeqNo, u32)> {
+        let highest = self.highest?;
         let expected = self.expected - self.rr_expected;
         let received = self.received - self.rr_received;
         self.rr_expected = self.expected;
@@ -187,11 +218,7 @@ impl RxState {
         } else {
             ((expected.saturating_sub(received)) as f64 / expected as f64).clamp(0.0, 1.0)
         };
-        (
-            loss,
-            self.highest.unwrap_or(SeqNo::ZERO),
-            self.jitter_us as u32,
-        )
+        Some((loss, highest, self.jitter_us as u32))
     }
 
     /// Cumulative residual loss rate (abandoned / expected).
@@ -286,13 +313,55 @@ mod tests {
         let mut rx = RxState::new();
         rx.on_packet(at(0), SeqNo(0), T);
         rx.on_packet(at(1), SeqNo(3), T); // expect 4, got 2
-        let (loss, highest, _) = rx.rr_stats();
+        let (loss, highest, _) = rx.rr_stats().expect("stats");
         assert!((loss - 0.5).abs() < 1e-9);
         assert_eq!(highest, SeqNo(3));
         // New window: recover one hole → negative loss clamps to 0.
         rx.on_packet(at(2), SeqNo(1), T);
-        let (loss2, _, _) = rx.rr_stats();
+        let (loss2, _, _) = rx.rr_stats().expect("stats");
         assert_eq!(loss2, 0.0);
+    }
+
+    #[test]
+    fn rr_stats_none_before_first_packet() {
+        let mut rx = RxState::new();
+        assert_eq!(rx.rr_stats(), None);
+        rx.on_packet(at(0), SeqNo(500), T);
+        let (loss, highest, _) = rx.rr_stats().expect("stats after first packet");
+        assert_eq!(loss, 0.0);
+        assert_eq!(highest, SeqNo(500));
+    }
+
+    #[test]
+    fn large_jump_is_stream_reset_not_loss() {
+        let mut rx = RxState::new();
+        rx.on_packet(at(0), SeqNo(0), T);
+        rx.on_packet(at(1), SeqNo(2), T); // one genuine hole
+        assert_eq!(rx.outstanding_holes(), 1);
+        // A jump far beyond any plausible reorder window resets the stream:
+        // no hole flood, prior holes abandoned.
+        let out = rx.on_packet(at(2), SeqNo(20_000), T);
+        assert_eq!(out, RxOutcome::Fresh);
+        assert_eq!(rx.outstanding_holes(), 0);
+        assert_eq!(rx.abandoned, 1);
+        assert_eq!(rx.highest(), Some(SeqNo(20_000)));
+        // Counters stay sane: the skipped range is not counted as expected.
+        assert!(rx.expected <= 5, "expected={}", rx.expected);
+    }
+
+    #[test]
+    fn missing_set_is_bounded() {
+        let mut rx = RxState::new();
+        rx.on_packet(at(0), SeqNo(0), T);
+        // Repeated sub-reset jumps accumulate holes; the map must stay
+        // capped with the oldest holes abandoned.
+        let mut seq = SeqNo(0);
+        for i in 0..4u64 {
+            seq = seq.add(2_500);
+            rx.on_packet(at(i + 1), seq, T);
+        }
+        assert!(rx.outstanding_holes() <= 4_096);
+        assert!(rx.abandoned > 0);
     }
 
     #[test]
@@ -302,14 +371,14 @@ mod tests {
         for i in 0..20u16 {
             rx.on_packet(at(u64::from(i) * 10), SeqNo(i), SimDuration::from_millis(5));
         }
-        let (_, _, j0) = rx.rr_stats();
+        let (_, _, j0) = rx.rr_stats().expect("stats");
         assert_eq!(j0, 0);
         // Oscillating transit → jitter > 0.
         for i in 20..60u16 {
             let t = if i % 2 == 0 { 5 } else { 25 };
             rx.on_packet(at(u64::from(i) * 10), SeqNo(i), SimDuration::from_millis(t));
         }
-        let (_, _, j1) = rx.rr_stats();
+        let (_, _, j1) = rx.rr_stats().expect("stats");
         assert!(j1 > 1000, "jitter={j1}us");
     }
 

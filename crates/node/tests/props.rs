@@ -153,6 +153,88 @@ proptest! {
 }
 
 proptest! {
+    /// A contiguous (wrapping) sequence run never manufactures holes or
+    /// resets, wherever it starts — including runs that cross the 32,768
+    /// midpoint and the 65,535 → 0 wrap.
+    #[test]
+    fn rx_contiguous_run_survives_wraparound(start in any::<u16>(), n in 1usize..2048) {
+        let mut rx = RxState::new();
+        let mut seq = SeqNo(start);
+        for i in 0..n {
+            let t = SimTime::from_millis(i as u64);
+            let out = rx.on_packet(t, seq, SimDuration::from_millis(3));
+            prop_assert!(matches!(out, RxOutcome::Fresh), "non-fresh at {i}");
+            seq = seq.next();
+        }
+        prop_assert_eq!(rx.received, n as u64);
+        prop_assert_eq!(rx.expected, n as u64);
+        prop_assert_eq!(rx.outstanding_holes(), 0);
+        prop_assert_eq!(rx.abandoned, 0);
+    }
+
+    /// A small forward jump marks exactly `gap − 1` holes even when the
+    /// pair straddles the signed-midpoint (32,768) boundary or the u16
+    /// wrap, and the accounting identity holds.
+    #[test]
+    fn rx_gap_accounting_wraps_cleanly(start in any::<u16>(), gap in 2u16..64) {
+        let mut rx = RxState::new();
+        rx.on_packet(SimTime::ZERO, SeqNo(start), SimDuration::from_millis(3));
+        rx.on_packet(
+            SimTime::from_millis(1),
+            SeqNo(start).add(gap),
+            SimDuration::from_millis(3),
+        );
+        prop_assert_eq!(rx.outstanding_holes(), usize::from(gap) - 1);
+        prop_assert_eq!(rx.expected, u64::from(gap) + 1);
+        prop_assert_eq!(rx.received, 2);
+        prop_assert_eq!(
+            rx.received + rx.outstanding_holes() as u64 + rx.abandoned,
+            rx.expected
+        );
+    }
+
+    /// `scan` never NACKs any hole more than `retry_limit` times, no
+    /// matter how often it runs or how the holes are interleaved with
+    /// recoveries; exhausted holes are abandoned, never re-NACKed.
+    #[test]
+    fn scan_respects_retry_limit_per_hole(
+        gap in 3u16..120,
+        retry_limit in 1u32..6,
+        scans in 1u64..40,
+        recover_stride in 0u16..5,
+    ) {
+        let mut rx = RxState::new();
+        rx.on_packet(SimTime::ZERO, SeqNo(10), SimDuration::from_millis(3));
+        rx.on_packet(
+            SimTime::from_millis(1),
+            SeqNo(10).add(gap),
+            SimDuration::from_millis(3),
+        );
+        let interval = SimDuration::from_millis(50);
+        let mut nacks: std::collections::HashMap<u16, u32> = std::collections::HashMap::new();
+        for s in 0..scans {
+            let now = SimTime::from_millis(10 + s * 60);
+            for seq in rx.scan(now, interval, retry_limit) {
+                *nacks.entry(seq.0).or_insert(0) += 1;
+            }
+            // Occasionally recover one of the holes mid-stream.
+            if recover_stride > 0 && s % u64::from(recover_stride) == 0 {
+                let victim = SeqNo(11).add((s % u64::from(gap - 1)) as u16);
+                let _ = rx.on_packet(now, victim, SimDuration::from_millis(3));
+            }
+        }
+        for (&seq, &n) in &nacks {
+            prop_assert!(
+                n <= retry_limit,
+                "seq {seq} NACKed {n} times (limit {retry_limit})"
+            );
+        }
+        prop_assert_eq!(
+            rx.received + rx.outstanding_holes() as u64 + rx.abandoned,
+            rx.expected
+        );
+    }
+
     /// Timer keys roundtrip for every kind and id.
     #[test]
     fn timer_kind_roundtrip(raw in 0u64..(1u64 << 48), client: bool) {

@@ -40,6 +40,9 @@ pub enum HostEvent {
 }
 
 /// A host in the packet-level simulation: an overlay node or a viewer.
+// Hosts live once per simulated machine in a Vec the emulator owns;
+// boxing the node state would add a pointer chase on every packet.
+#[allow(clippy::large_enum_variant)]
 pub enum EmuHost {
     /// An overlay CDN node.
     Node(NodeHostState),
@@ -248,6 +251,16 @@ impl Host for EmuHost {
         if let EmuHost::Node(state) = self {
             let actions = state.node.start(ctx.now());
             apply_node_actions(state, ctx, actions);
+        }
+    }
+
+    fn on_crash(&mut self) {
+        // A crashed node loses all volatile state (FIB, reassembly, pacing,
+        // congestion control); config and measured neighbor RTTs survive as
+        // they would on-disk. Harvested events survive too — they belong to
+        // the experiment harness, not the node.
+        if let EmuHost::Node(state) = self {
+            state.node.crash_reset();
         }
     }
 }

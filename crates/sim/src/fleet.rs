@@ -24,7 +24,7 @@ use livenet_topology::{GeoConfig, GeoTopology, NodeReport, Topology};
 use livenet_types::{DetRng, NodeId, SimDuration, SimTime, StreamId};
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 
 /// Which system a record belongs to.
@@ -34,6 +34,48 @@ pub enum System {
     LiveNet,
     /// The hierarchical baseline.
     Hier,
+}
+
+/// A scripted fleet-level fault (§6.5 failure handling).
+///
+/// Node identity is expressed structurally — an index into the sorted
+/// routable-node list or a country index — so plans are portable across
+/// seeds (generated [`NodeId`]s differ per topology).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FleetFault {
+    /// One node goes dark.
+    NodeOutage {
+        /// Outage start, seconds into the run.
+        at_secs: u64,
+        /// Outage duration in seconds.
+        down_for_secs: u64,
+        /// Index into the sorted routable-node list (wraps modulo its
+        /// length).
+        node_index: usize,
+    },
+    /// Every node in one country goes dark (the Double-12 region outage).
+    RegionOutage {
+        /// Outage start, seconds into the run.
+        at_secs: u64,
+        /// Outage duration in seconds.
+        down_for_secs: u64,
+        /// Country index.
+        country: u32,
+    },
+}
+
+/// Fault schedule for a fleet run: scripted faults plus a seeded random
+/// outage process. The schedule is derived from the workload seed alone
+/// (`DetRng` fork `"faults"`), so every shard of a partitioned run agrees
+/// on it bit-for-bit.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlanConfig {
+    /// Scripted faults.
+    pub scripted: Vec<FleetFault>,
+    /// Expected random single-node outages per simulated day (0 = none).
+    pub random_outages_per_day: f64,
+    /// Duration range (seconds, inclusive-exclusive) of random outages.
+    pub random_outage_secs: (u64, u64),
 }
 
 /// Fleet simulation parameters.
@@ -65,6 +107,8 @@ pub struct FleetConfig {
     /// therefore the result bits — independently of how many worker
     /// threads execute it.
     pub shards: usize,
+    /// Fault schedule (default: fault-free).
+    pub faults: FaultPlanConfig,
 }
 
 impl Default for FleetConfig {
@@ -81,6 +125,7 @@ impl Default for FleetConfig {
             bad_last_mile_fraction: 0.05,
             brain: livenet_brain::BrainConfig::default(),
             shards: 1,
+            faults: FaultPlanConfig::default(),
         }
     }
 }
@@ -169,6 +214,30 @@ impl FleetConfig {
                 "shards ({}) cannot exceed channels ({})",
                 self.shards, self.workload.channels
             )));
+        }
+        if !self.faults.random_outages_per_day.is_finite()
+            || self.faults.random_outages_per_day < 0.0
+        {
+            return Err(Error::invalid_config(
+                "faults.random_outages_per_day must be finite and >= 0",
+            ));
+        }
+        if self.faults.random_outages_per_day > 0.0
+            && self.faults.random_outage_secs.0 >= self.faults.random_outage_secs.1
+        {
+            return Err(Error::invalid_config(
+                "faults.random_outage_secs must be a non-empty (lo, hi) range",
+            ));
+        }
+        for f in &self.faults.scripted {
+            if let FleetFault::RegionOutage { country, .. } = f {
+                if *country >= self.geo.countries {
+                    return Err(Error::invalid_config(format!(
+                        "scripted region outage names country {country}, but only {} exist",
+                        self.geo.countries
+                    )));
+                }
+            }
         }
         Ok(())
     }
@@ -270,6 +339,20 @@ impl FleetConfigBuilder {
         self
     }
 
+    /// Script a fleet-level fault.
+    pub fn fault(mut self, fault: FleetFault) -> Self {
+        self.config.faults.scripted.push(fault);
+        self
+    }
+
+    /// Seeded random node outages: expected count per day and the outage
+    /// duration range in seconds.
+    pub fn random_faults(mut self, per_day: f64, secs: (u64, u64)) -> Self {
+        self.config.faults.random_outages_per_day = per_day;
+        self.config.faults.random_outage_secs = secs;
+        self
+    }
+
     /// Escape hatch for fields without a dedicated setter.
     pub fn tweak(mut self, f: impl FnOnce(&mut FleetConfig)) -> Self {
         f(&mut self.config);
@@ -298,7 +381,16 @@ struct Presence {
 struct Active {
     consumer: NodeId,
     stream: StreamId,
+    channel: usize,
     hier_path: Vec<NodeId>,
+}
+
+/// A fault resolved against the generated topology: who goes dark, when.
+#[derive(Debug, Clone)]
+struct ResolvedFault {
+    start: SimTime,
+    end: SimTime,
+    nodes: Vec<NodeId>,
 }
 
 enum Ev {
@@ -307,6 +399,26 @@ enum Ev {
     StreamStart(usize),
     StreamEnd(usize),
     MinuteTick,
+    FaultStart(usize),
+    FaultEnd(usize),
+}
+
+/// One session's failover during a fault, as the §6.5 logs would record it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryRecord {
+    /// Fault time.
+    pub at: SimTime,
+    /// Day index.
+    pub day: u32,
+    /// Fast path: a cached/prefetched alternate was available (LiveNet
+    /// only; Hier records are always slow).
+    pub fast: bool,
+    /// Upstream-silence detection latency.
+    pub detect_ms: f32,
+    /// Detection → playback restored.
+    pub recover_ms: f32,
+    /// Frames lost to the failover window (15 fps nominal).
+    pub frames_lost: u32,
 }
 
 /// Aggregate outputs of one fleet run.
@@ -328,6 +440,14 @@ pub struct FleetReport {
     pub chain_switches: u64,
     /// Brain PIB recompute rounds executed.
     pub recompute_rounds: u64,
+    /// Per-session failovers under injected faults, LiveNet.
+    pub recoveries_livenet: Vec<RecoveryRecord>,
+    /// Per-session failovers under injected faults, Hier.
+    pub recoveries_hier: Vec<RecoveryRecord>,
+    /// Fault episodes that fired within the horizon.
+    pub faults_injected: u64,
+    /// Broadcasters rehomed off dead ingest nodes.
+    pub producers_rehomed: u64,
 }
 
 impl FleetReport {
@@ -349,6 +469,10 @@ impl FleetReport {
             && self.skipped_offline == other.skipped_offline
             && self.chain_switches == other.chain_switches
             && self.recompute_rounds == other.recompute_rounds
+            && self.recoveries_livenet == other.recoveries_livenet
+            && self.recoveries_hier == other.recoveries_hier
+            && self.faults_injected == other.faults_injected
+            && self.producers_rehomed == other.producers_rehomed
     }
 }
 
@@ -380,6 +504,9 @@ pub struct FleetSim {
     // Channel schedule: per channel, sorted (start, end) live blocks.
     live_blocks: Vec<Vec<(SimTime, SimTime)>>,
     producers: Vec<NodeId>, // per channel
+    // Fault schedule, identical on every shard (seeded from the workload
+    // seed alone).
+    faults: Vec<ResolvedFault>,
     // Channels this instance simulates (all true in monolith runs; one
     // shard's membership in sharded runs).
     scheduled: Vec<bool>,
@@ -460,6 +587,68 @@ impl FleetSim {
             })
             .collect();
 
+        // Fault schedule: scripted entries plus the seeded random outage
+        // process. Uses its own RNG stream (fork "faults") so the schedule
+        // never perturbs — and is never perturbed by — traffic randomness,
+        // and every shard derives the identical list.
+        let routable: Vec<NodeId> = topology.routable_node_ids().collect();
+        let mut faults: Vec<ResolvedFault> = Vec::new();
+        for f in &config.faults.scripted {
+            let (at, dur, nodes) = match *f {
+                FleetFault::NodeOutage {
+                    at_secs,
+                    down_for_secs,
+                    node_index,
+                } => (
+                    at_secs,
+                    down_for_secs,
+                    vec![routable[node_index % routable.len()]],
+                ),
+                FleetFault::RegionOutage {
+                    at_secs,
+                    down_for_secs,
+                    country,
+                } => (
+                    at_secs,
+                    down_for_secs,
+                    topology.nodes_in_country(country).collect(),
+                ),
+            };
+            faults.push(ResolvedFault {
+                start: SimTime::from_secs(at),
+                end: SimTime::from_secs(at + dur.max(1)),
+                nodes,
+            });
+        }
+        if config.faults.random_outages_per_day > 0.0 {
+            let mut frng = DetRng::seed(config.workload.seed).fork("faults");
+            let per_day = config.faults.random_outages_per_day;
+            let (lo, hi) = config.faults.random_outage_secs;
+            for day in 0..u64::from(config.workload.days) {
+                // floor(λ) outages plus one more with probability frac(λ):
+                // a fixed-length draw sequence, unlike Poisson sampling.
+                let mut n = per_day as u64;
+                if frng.chance(per_day.fract()) {
+                    n += 1;
+                }
+                for _ in 0..n {
+                    let node = routable[frng.range_u64(0, routable.len() as u64) as usize];
+                    let at = day * 86_400 + frng.range_u64(0, 86_400);
+                    let dur = frng.range_u64(lo, hi);
+                    faults.push(ResolvedFault {
+                        start: SimTime::from_secs(at),
+                        end: SimTime::from_secs(at + dur.max(1)),
+                        nodes: vec![node],
+                    });
+                }
+            }
+        }
+        faults.retain(|f| f.start < horizon);
+        for f in &mut faults {
+            f.end = f.end.min(horizon);
+        }
+        faults.sort_by_key(|f| (f.start, f.end));
+
         let scheduled = vec![true; workload.channels.len()];
         FleetSim {
             bitrate_bps: 2_500_000.0,
@@ -477,6 +666,7 @@ impl FleetSim {
             link_sessions: HashMap::new(),
             live_blocks,
             producers,
+            faults,
             scheduled,
             queue: EventQueue::new(),
             active: HashMap::new(),
@@ -547,6 +737,10 @@ impl FleetSim {
             }
         }
         self.queue.schedule(SimTime::from_secs(60), Ev::MinuteTick);
+        for (i, f) in self.faults.iter().enumerate() {
+            self.queue.schedule(f.start, Ev::FaultStart(i));
+            self.queue.schedule(f.end, Ev::FaultEnd(i));
+        }
         if let Some(first) = self.workload.next_session() {
             self.queue.schedule(first.at, Ev::Arrival(first));
         }
@@ -568,6 +762,8 @@ impl FleetSim {
                     self.queue
                         .schedule(now + SimDuration::from_secs(60), Ev::MinuteTick);
                 }
+                Ev::FaultStart(i) => self.on_fault_start(now, i),
+                Ev::FaultEnd(i) => self.on_fault_end(now, i),
             }
         }
         self.flush_hour();
@@ -592,6 +788,18 @@ impl FleetSim {
 
     fn on_stream_start(&mut self, _now: SimTime, ch: usize) {
         let stream = self.workload.channels[ch].stream;
+        // A broadcaster cannot push to a dark ingest node; it lands on
+        // another edge in its country (sticky — kept after the outage).
+        if !self.topology.node_is_up(self.producers[ch]) {
+            let country = self.workload.channels[ch].country;
+            if let Some(&alt) = self.edges_by_country[country as usize]
+                .iter()
+                .find(|&&e| self.topology.node_is_up(e))
+            {
+                self.producers[ch] = alt;
+                self.report.producers_rehomed += 1;
+            }
+        }
         let producer = self.producers[ch];
         self.brain.register_stream(stream, producer);
         if self.workload.channels[ch].popular {
@@ -662,6 +870,21 @@ impl FleetSim {
             }
             if consumer == producer {
                 // Country with a single edge: accept the zero-hop session.
+            }
+        }
+        // A dark edge (node outage) cannot serve; the client retries the
+        // next edge in its country or gives up. Consumes no RNG, so
+        // fault-free runs are bit-identical to the pre-fault behavior.
+        if !self.topology.node_is_up(consumer) {
+            match self.edges_by_country[spec.viewer_country as usize]
+                .iter()
+                .find(|&&e| self.topology.node_is_up(e))
+            {
+                Some(&alt) => consumer = alt,
+                None => {
+                    self.report.skipped_offline += 1;
+                    return;
+                }
             }
         }
         let international = self
@@ -796,6 +1019,7 @@ impl FleetSim {
             Active {
                 consumer,
                 stream,
+                channel: spec.channel,
                 hier_path,
             },
         );
@@ -943,24 +1167,15 @@ impl FleetSim {
 
     fn livenet_detach(&mut self, consumer: NodeId, stream: StreamId) {
         let mut node = consumer;
-        loop {
-            let Some(p) = self.presence.get_mut(&(node, stream)) else {
-                break;
-            };
+        while let Some(p) = self.presence.get_mut(&(node, stream)) {
             p.downstreams = p.downstreams.saturating_sub(1);
             if p.downstreams > 0 {
                 break;
             }
-            let upstream = p.upstream;
             // Producers keep their zero-hop entry while the stream is live.
-            if upstream.is_none() {
-                break;
-            }
+            let Some(up) = p.upstream else { break };
             self.presence.remove(&(node, stream));
-            match upstream {
-                Some(up) => node = up,
-                None => break,
-            }
+            node = up;
         }
     }
 
@@ -1060,6 +1275,157 @@ impl FleetSim {
             (u - 0.5) * 160.0 * self.rng.log_normal(0.0, 0.3)
         } else {
             0.0
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault execution (§6.5 failure handling)
+    // ------------------------------------------------------------------
+
+    fn on_fault_start(&mut self, now: SimTime, i: usize) {
+        self.report.faults_injected += 1;
+        let nodes = self.faults[i].nodes.clone();
+        let down: BTreeSet<NodeId> = nodes.iter().copied().collect();
+        let day = (now.as_secs_f64() / 86_400.0) as u32;
+
+        // Ground truth and the Brain's view go dark; the Brain recomputes
+        // around the failed elements immediately (scoped update).
+        for &n in &nodes {
+            self.topology.set_node_up(n, false);
+            self.brain.node_failed(n);
+        }
+
+        // Broadcasters whose ingest node died re-push to another edge in
+        // their country; the Brain rehomes the stream in its SIB. Hier
+        // cannot — its tree roles are static — which is the point of §6.5.
+        for &n in &nodes {
+            for stream in self.brain.streams_on(n) {
+                let Some(ch) = self
+                    .workload
+                    .channels
+                    .iter()
+                    .position(|c| c.stream == stream)
+                else {
+                    continue;
+                };
+                let country = self.workload.channels[ch].country;
+                let Some(&new_p) = self.edges_by_country[country as usize]
+                    .iter()
+                    .find(|&&e| e != n && self.topology.node_is_up(e))
+                else {
+                    continue;
+                };
+                let _ = self.brain.rehome_producer(stream, new_p, now);
+                self.producers[ch] = new_p;
+                self.presence.remove(&(n, stream));
+                self.presence.entry((new_p, stream)).or_insert(Presence {
+                    upstream: None,
+                    realized: vec![new_p],
+                    downstreams: 0,
+                });
+                self.report.producers_rehomed += 1;
+            }
+        }
+
+        // Every active session whose delivery path crosses a dead node
+        // fails over. LiveNet consumers detect upstream silence and either
+        // switch to a cached alternate (fast, ≈1 RTT after detection) or
+        // wait out a Brain round trip (slow); Hier clients reconnect
+        // through the static tree over TCP — multi-second either way.
+        //
+        // Phase 1: record the failovers and tear every affected session's
+        // subscription chain down while the refcounts are still coherent.
+        // Phase 2: purge what the dead nodes carried. Phase 3: re-attach,
+        // so shared chains are rebuilt fresh instead of local-hitting a
+        // stale entry that still routes through the failure.
+        let mut ids: Vec<u64> = self.active.keys().copied().collect();
+        ids.sort_unstable();
+        let mut reattach: Vec<(u64, NodeId, StreamId, usize)> = Vec::new();
+        for id in ids {
+            let (consumer, stream, channel, hier_hit) = {
+                let a = &self.active[&id];
+                let hier_hit = a.hier_path.iter().any(|n| down.contains(n));
+                (a.consumer, a.stream, a.channel, hier_hit)
+            };
+            let ln_hit = self
+                .presence
+                .get(&(consumer, stream))
+                .is_some_and(|p| p.realized.iter().any(|n| down.contains(n)));
+            if ln_hit {
+                let popular = self.workload.channels[channel].popular;
+                // Popular channels' alternates are prefetched everywhere
+                // (§4.4); others hold Brain-provisioned backups most of
+                // the time.
+                let fast = popular || self.rng.chance(0.7);
+                let detect = 2500.0 * self.rng.log_normal(0.0, 0.15);
+                let recover = if fast {
+                    // One subscribe round trip to the cached alternate.
+                    30.0 * self.rng.log_normal(0.0, 0.4)
+                } else {
+                    // Ask the Brain, wait for the recompute, re-establish.
+                    self.nearest_replica_rtt(consumer)
+                        + 2400.0 * self.rng.log_normal(0.0, 0.3)
+                };
+                self.report.recoveries_livenet.push(RecoveryRecord {
+                    at: now,
+                    day,
+                    fast,
+                    detect_ms: detect as f32,
+                    recover_ms: recover as f32,
+                    frames_lost: ((detect + recover) / 1000.0 * 15.0) as u32,
+                });
+                self.livenet_detach(consumer, stream);
+                let mut consumer = consumer;
+                if down.contains(&consumer) {
+                    // The viewer's own edge died; the client retries
+                    // against the next edge in its country, if any.
+                    let country = self
+                        .topology
+                        .node(consumer)
+                        .map(|n| n.country)
+                        .unwrap_or(0);
+                    if let Some(&alt) = self.edges_by_country[country as usize]
+                        .iter()
+                        .find(|&&e| self.topology.node_is_up(e))
+                    {
+                        consumer = alt;
+                        if let Some(a) = self.active.get_mut(&id) {
+                            a.consumer = alt;
+                        }
+                    }
+                }
+                reattach.push((id, consumer, stream, channel));
+            }
+            if hier_hit {
+                let detect = 3000.0 * self.rng.log_normal(0.0, 0.2);
+                let recover = 8000.0 * self.rng.log_normal(0.0, 0.35);
+                self.report.recoveries_hier.push(RecoveryRecord {
+                    at: now,
+                    day,
+                    fast: false,
+                    detect_ms: detect as f32,
+                    recover_ms: recover as f32,
+                    frames_lost: ((detect + recover) / 1000.0 * 15.0) as u32,
+                });
+            }
+        }
+        // Whatever presence the dead nodes still carried is gone with them.
+        self.presence.retain(|&(n, _), _| !down.contains(&n));
+        self.hier_presence.retain(|&(n, _), _| !down.contains(&n));
+        // Re-establish over paths the Brain already recomputed around the
+        // failure.
+        for (_, consumer, stream, channel) in reattach {
+            if self.topology.node_is_up(consumer) {
+                let _ = self.livenet_attach(now, consumer, stream, channel);
+            }
+        }
+    }
+
+    fn on_fault_end(&mut self, _now: SimTime, i: usize) {
+        let nodes = self.faults[i].nodes.clone();
+        for &n in &nodes {
+            self.topology.set_node_up(n, true);
+            self.brain.node_recovered(n);
         }
     }
 
@@ -1312,6 +1678,8 @@ mod tests {
                     sim.queue
                         .schedule(now + SimDuration::from_secs(60), Ev::MinuteTick);
                 }
+                Ev::FaultStart(i) => sim.on_fault_start(now, i),
+                Ev::FaultEnd(i) => sim.on_fault_end(now, i),
             }
         }
         // After all departures + stream ends, presence should be empty and
@@ -1323,6 +1691,64 @@ mod tests {
                 "link ({f},{t}) leaked {c} sessions"
             );
         }
+    }
+
+    fn outage_config(seed: u64) -> FleetConfig {
+        FleetConfigBuilder::from_config(FleetConfig::smoke(seed))
+            .fault(FleetFault::RegionOutage {
+                at_secs: 8 * 3600,
+                down_for_secs: 1800,
+                country: 0,
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn region_outage_triggers_recoveries_and_rehoming() {
+        let r = FleetSim::new(outage_config(11)).run();
+        assert_eq!(r.faults_injected, 1);
+        assert!(!r.recoveries_livenet.is_empty(), "no LiveNet failovers");
+        assert!(!r.recoveries_hier.is_empty(), "no Hier failovers");
+        // §6.5 shape: LiveNet's fast path dominates and restores playback
+        // in about one RTT after detection; Hier is multi-second.
+        let fast = r.recoveries_livenet.iter().filter(|x| x.fast).count();
+        assert!(fast * 2 > r.recoveries_livenet.len(), "fast path rare");
+        let median = |mut v: Vec<f32>| {
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[v.len() / 2]
+        };
+        let ln_fast =
+            median(r.recoveries_livenet.iter().filter(|x| x.fast).map(|x| x.recover_ms).collect());
+        let h = median(r.recoveries_hier.iter().map(|x| x.recover_ms).collect());
+        assert!(ln_fast < 200.0, "LiveNet fast recovery {ln_fast} ms");
+        assert!(h > 2000.0, "Hier recovery {h} ms");
+    }
+
+    #[test]
+    fn outage_runs_are_deterministic() {
+        let a = FleetSim::new(outage_config(12)).run();
+        let b = FleetSim::new(outage_config(12)).run();
+        assert!(a.bit_identical(&b));
+    }
+
+    #[test]
+    fn random_faults_fire_and_sessions_still_pair() {
+        let cfg = FleetConfigBuilder::from_config(FleetConfig::smoke(13))
+            .random_faults(3.0, (300, 1200))
+            .build()
+            .unwrap();
+        let r = FleetSim::new(cfg).run();
+        assert!(r.faults_injected >= 3, "{}", r.faults_injected);
+        assert_eq!(r.livenet.len(), r.hier.len());
+    }
+
+    #[test]
+    fn fault_free_default_reports_no_recoveries() {
+        let r = smoke_report(14);
+        assert_eq!(r.faults_injected, 0);
+        assert!(r.recoveries_livenet.is_empty());
+        assert!(r.recoveries_hier.is_empty());
     }
 
     #[test]

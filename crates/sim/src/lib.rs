@@ -29,15 +29,20 @@ pub mod calibrate;
 pub mod fleet;
 pub mod metrics;
 pub mod packetsim;
+pub mod recovery;
 pub mod runner;
 pub mod viewer;
 pub mod workload;
 
 pub use adapter::{EmuHost, HostEvent};
 pub use calibrate::LatencyConstants;
-pub use fleet::{FleetConfig, FleetConfigBuilder, FleetReport, FleetSim, System};
+pub use fleet::{
+    FaultPlanConfig, FleetConfig, FleetConfigBuilder, FleetFault, FleetReport, FleetSim,
+    RecoveryRecord, System,
+};
 pub use metrics::{HourlySeries, SessionRecord};
 pub use runner::{partition_channels, FleetRunner, ShardPlan};
 pub use packetsim::{PacketSim, PacketSimConfig, PacketSimReport};
+pub use recovery::{run_recovery, RecoveryMode, RecoveryOutcome, RecoveryScenario};
 pub use viewer::{PlaybackSim, ViewerQoe};
 pub use workload::{diurnal_factor, Channel, WorkloadConfig};

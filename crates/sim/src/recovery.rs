@@ -1,0 +1,322 @@
+//! Packet-level failure-recovery scenario (§6.5).
+//!
+//! A diamond overlay — producer P, primary relay B, backup relay D and a
+//! consumer C with one viewer — streams for a while, then B crashes (via
+//! the emulator's fault layer). The consumer detects upstream silence and
+//! recovers one of two ways:
+//!
+//! * **Fast path** — C holds a Brain-provisioned backup path `P→D→C` in
+//!   its path cache ([`OverlayNode::install_paths`]); failover is a single
+//!   subscribe RTT after detection, and the producer's GoP cache backfills
+//!   the gap.
+//! * **Slow path** — no cached backup: C raises
+//!   [`NodeEvent::PathRequestNeeded`] and must wait a full control-plane
+//!   round trip (Brain detects, recomputes around the dead node, replies)
+//!   before switching — multi-second, the Hier-CDN-like baseline shape.
+//!
+//! [`OverlayNode::install_paths`]: livenet_node::OverlayNode::install_paths
+//! [`NodeEvent::PathRequestNeeded`]: livenet_node::NodeEvent
+
+use crate::adapter::{client_host_id, EmuHost};
+use bytes::Bytes;
+use livenet_emu::{FaultKind, LinkConfig, LossModel, NetSim};
+use livenet_media::{GopConfig, VideoEncoder};
+use livenet_node::{NodeConfig, NodeEvent, OverlayNode};
+use livenet_types::{Bandwidth, ClientId, NodeId, SimDuration, SimTime, StreamId};
+
+/// Stream id used by recovery runs.
+pub const RECOVERY_STREAM: StreamId = StreamId(901);
+
+/// Which recovery path the consumer exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryMode {
+    /// Cached backup path: failover ≈ detection + one subscribe RTT.
+    Fast,
+    /// Brain round trip: failover waits out the control-plane latency.
+    Slow,
+}
+
+/// Scenario parameters.
+#[derive(Debug, Clone)]
+pub struct RecoveryScenario {
+    /// Fast (cached backup) or slow (Brain round trip) recovery.
+    pub mode: RecoveryMode,
+    /// RNG seed.
+    pub seed: u64,
+    /// When the primary relay crashes.
+    pub crash_at: SimTime,
+    /// Broadcast duration.
+    pub duration: SimDuration,
+    /// Control-plane round trip charged on the slow path (detect → new
+    /// path installed). The paper reports multi-second Brain reaction.
+    pub brain_rtt: SimDuration,
+    /// One-way delay of each overlay link.
+    pub link_delay: SimDuration,
+}
+
+impl RecoveryScenario {
+    /// Default scenario for the given mode and seed.
+    pub fn new(mode: RecoveryMode, seed: u64) -> Self {
+        RecoveryScenario {
+            mode,
+            seed,
+            crash_at: SimTime::from_secs(5),
+            duration: SimDuration::from_secs(20),
+            brain_rtt: SimDuration::from_millis(2500),
+            link_delay: SimDuration::from_millis(10),
+        }
+    }
+}
+
+/// What happened during the failover.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryOutcome {
+    /// Crash → consumer declares the upstream dead (liveness timeout).
+    pub detect_ms: f64,
+    /// Crash → first frame rendered over the new path.
+    pub restore_ms: f64,
+    /// Encoder frames never rendered at the viewer (lost to the outage).
+    pub frames_lost: u64,
+    /// Frames the viewer did render.
+    pub frames_rendered: u64,
+    /// The consumer re-requested a path from the Brain (slow path taken).
+    pub asked_brain: bool,
+}
+
+/// Run the scenario to completion.
+pub fn run_recovery(sc: &RecoveryScenario) -> RecoveryOutcome {
+    // Host ids: 1 = producer P, 2 = primary relay B, 3 = consumer C,
+    // 4 = backup relay D. Links: P–B, B–C (primary), P–D, D–C (backup).
+    let p = NodeId::new(1);
+    let b = NodeId::new(2);
+    let c = NodeId::new(3);
+    let d = NodeId::new(4);
+    let mut sim: NetSim<EmuHost> = NetSim::new(sc.seed);
+
+    let rtt = sc.link_delay * 2;
+    for &id in &[p, b, c, d] {
+        let mut ncfg = NodeConfig::new(id);
+        ncfg.startup_burst = true;
+        let mut node = OverlayNode::new(ncfg);
+        for &peer in &[p, b, c, d] {
+            if peer != id {
+                node.set_neighbor_rtt(peer, rtt);
+            }
+        }
+        sim.add_host(id, EmuHost::node(node));
+    }
+    let lc = LinkConfig {
+        delay: sc.link_delay,
+        bandwidth: Bandwidth::from_gbps(1),
+        queue_bytes: 4 << 20,
+        loss: LossModel::None,
+        jitter: SimDuration::ZERO,
+    };
+    sim.add_duplex(p, b, lc);
+    sim.add_duplex(b, c, lc);
+    sim.add_duplex(p, d, lc);
+    sim.add_duplex(d, c, lc);
+
+    sim.with_host(p, |h, _| {
+        if let Some(s) = h.as_node_mut() {
+            s.node.register_producer(RECOVERY_STREAM, None);
+        }
+    });
+
+    // Viewer at C, joining just before the stream starts.
+    let client = ClientId::new(1);
+    let chost = client_host_id(client);
+    let gop = GopConfig::default();
+    sim.add_host(
+        chost,
+        EmuHost::client(
+            client,
+            SimTime::from_millis(100),
+            gop.fps,
+            SimDuration::from_millis(300),
+        ),
+    );
+    let access = LinkConfig {
+        delay: SimDuration::from_millis(15),
+        bandwidth: Bandwidth::from_mbps(50),
+        queue_bytes: 1 << 20,
+        loss: LossModel::None,
+        jitter: SimDuration::ZERO,
+    };
+    sim.add_duplex(c, chost, access);
+
+    let primary = vec![p, b, c];
+    let backup = vec![p, d, c];
+    sim.with_host(c, |h, ctx| {
+        if let Some(s) = h.as_node_mut() {
+            let mut actions = Vec::new();
+            s.node.client_attach(
+                ctx.now(),
+                client,
+                RECOVERY_STREAM,
+                Some(Bandwidth::from_mbps(50)),
+                Some(&primary),
+                &mut actions,
+            );
+            crate::adapter::apply_node_actions(s, ctx, actions);
+        }
+    });
+    if sc.mode == RecoveryMode::Fast {
+        sim.with_host(c, |h, _| {
+            if let Some(s) = h.as_node_mut() {
+                s.node.install_paths(RECOVERY_STREAM, std::slice::from_ref(&backup));
+            }
+        });
+    }
+
+    sim.schedule_fault(sc.crash_at, FaultKind::NodeCrash { node: b });
+
+    // Encoder-driven loop; in slow mode the driver plays the Brain,
+    // installing the recomputed path one control RTT after the node asks.
+    let start = SimTime::from_millis(50);
+    let mut encoder = VideoEncoder::new(RECOVERY_STREAM, gop, Bandwidth::from_mbps(2), start);
+    let end = start + sc.duration;
+    let mut brain_reply_at: Option<SimTime> = None;
+    let mut brain_replied = false;
+    let mut asked_brain = false;
+    let mut frames_sent: u64 = 0;
+    loop {
+        let mut next = encoder.next_capture_time();
+        if let Some(at) = brain_reply_at {
+            if !brain_replied && at < next {
+                next = at;
+            }
+        }
+        if next >= end {
+            break;
+        }
+        sim.run_until(next);
+        if brain_reply_at == Some(next) && !brain_replied {
+            brain_replied = true;
+            let new_path = backup.clone();
+            sim.with_host(c, |h, ctx| {
+                if let Some(s) = h.as_node_mut() {
+                    let actions = s.node.switch_path(ctx.now(), RECOVERY_STREAM, &new_path);
+                    crate::adapter::apply_node_actions(s, ctx, actions);
+                }
+            });
+            continue;
+        }
+        let frame = encoder.next_frame();
+        frames_sent += 1;
+        let payload = Bytes::from(vec![0u8; frame.size_bytes as usize]);
+        sim.with_host(p, |h, ctx| {
+            if let Some(s) = h.as_node_mut() {
+                let actions = s.node.ingest_frame(ctx.now(), &frame, &payload);
+                crate::adapter::apply_node_actions(s, ctx, actions);
+            }
+        });
+        // Poll C for a slow-path request; the "Brain" answers one control
+        // RTT later with a path routed around the dead relay.
+        if brain_reply_at.is_none() {
+            if let Some(host) = sim.host(c) {
+                if let Some(s) = host.as_node() {
+                    if s.events
+                        .iter()
+                        .any(|(_, e)| matches!(e, NodeEvent::PathRequestNeeded { .. }))
+                    {
+                        asked_brain = true;
+                        brain_reply_at = Some(sim.now() + sc.brain_rtt);
+                    }
+                }
+            }
+        }
+    }
+    sim.run_until(end + SimDuration::from_secs(2));
+
+    // Harvest: detection time from C's UpstreamDead event, restoration
+    // from the first client frame rendered after detection.
+    let mut detect: Option<SimTime> = None;
+    if let Some(host) = sim.host(c) {
+        if let Some(s) = host.as_node() {
+            for (at, e) in &s.events {
+                if let NodeEvent::UpstreamDead { upstream, .. } = e {
+                    if *upstream == b && detect.is_none() {
+                        detect = Some(*at);
+                    }
+                }
+            }
+        }
+    }
+    let detect_at = detect.unwrap_or(sc.crash_at);
+    let mut restore_at: Option<SimTime> = None;
+    let mut rendered: u64 = 0;
+    if let Some(host) = sim.host(chost) {
+        if let Some(cs) = host.as_client() {
+            rendered = cs.frames.len() as u64;
+            for &(at, _, _) in &cs.frames {
+                if at > detect_at && restore_at.is_none() {
+                    restore_at = Some(at);
+                }
+            }
+        }
+    }
+    let restore_at = restore_at.unwrap_or(end);
+    RecoveryOutcome {
+        detect_ms: (detect_at.as_secs_f64() - sc.crash_at.as_secs_f64()) * 1000.0,
+        restore_ms: (restore_at.as_secs_f64() - sc.crash_at.as_secs_f64()) * 1000.0,
+        frames_lost: frames_sent.saturating_sub(rendered),
+        frames_rendered: rendered,
+        asked_brain,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_recovery_is_detection_plus_one_rtt() {
+        let out = run_recovery(&RecoveryScenario::new(RecoveryMode::Fast, 7));
+        assert!(!out.asked_brain, "fast path must not ask the Brain");
+        // Detection is the liveness timeout (2.5 s ± one scan interval).
+        assert!(out.detect_ms >= 2000.0 && out.detect_ms <= 3500.0, "{}", out.detect_ms);
+        // Restoration trails detection by roughly one subscribe RTT plus
+        // burst serving — well under half a second.
+        assert!(
+            out.restore_ms - out.detect_ms < 500.0,
+            "fast gap {} ms",
+            out.restore_ms - out.detect_ms
+        );
+        assert!(out.frames_rendered > 250, "{}", out.frames_rendered);
+    }
+
+    #[test]
+    fn slow_recovery_waits_out_the_brain_round_trip() {
+        let out = run_recovery(&RecoveryScenario::new(RecoveryMode::Slow, 7));
+        assert!(out.asked_brain, "slow path must ask the Brain");
+        // Restoration trails detection by at least the control RTT.
+        assert!(
+            out.restore_ms - out.detect_ms >= 2000.0,
+            "slow gap {} ms",
+            out.restore_ms - out.detect_ms
+        );
+        assert!(out.frames_rendered > 200, "{}", out.frames_rendered);
+    }
+
+    #[test]
+    fn fast_loses_fewer_frames_than_slow() {
+        let fast = run_recovery(&RecoveryScenario::new(RecoveryMode::Fast, 11));
+        let slow = run_recovery(&RecoveryScenario::new(RecoveryMode::Slow, 11));
+        assert!(
+            fast.frames_lost < slow.frames_lost,
+            "fast {} vs slow {}",
+            fast.frames_lost,
+            slow.frames_lost
+        );
+    }
+
+    #[test]
+    fn recovery_outcomes_are_deterministic() {
+        let a = run_recovery(&RecoveryScenario::new(RecoveryMode::Fast, 3));
+        let b = run_recovery(&RecoveryScenario::new(RecoveryMode::Fast, 3));
+        assert_eq!(a.detect_ms.to_bits(), b.detect_ms.to_bits());
+        assert_eq!(a.restore_ms.to_bits(), b.restore_ms.to_bits());
+        assert_eq!(a.frames_lost, b.frames_lost);
+    }
+}

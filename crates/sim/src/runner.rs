@@ -26,7 +26,7 @@
 //!
 //! [`DetRng::split`]: livenet_types::DetRng::split
 
-use crate::fleet::{FleetConfig, FleetReport, FleetSim, ShardOutput};
+use crate::fleet::{FleetConfig, FleetReport, FleetSim, RecoveryRecord, ShardOutput};
 use livenet_types::{Result, SimTime, ZipfTable};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -64,12 +64,12 @@ pub fn partition_channels(config: &FleetConfig) -> Vec<ShardPlan> {
     let mut members: Vec<Vec<usize>> = vec![Vec::new(); shards];
     let mut load = vec![0.0f64; shards];
     // Head group: co-sharded, always on shard 0.
-    for c in 0..popular_cut {
+    for (c, &m) in mass.iter().enumerate().take(popular_cut) {
         members[0].push(c);
-        load[0] += mass[c];
+        load[0] += m;
     }
     // Tail: greedy balance by Zipf mass.
-    for c in popular_cut..channels {
+    for (c, &m) in mass.iter().enumerate().skip(popular_cut) {
         let mut best = 0;
         for s in 1..shards {
             if load[s] < load[best] {
@@ -77,7 +77,7 @@ pub fn partition_channels(config: &FleetConfig) -> Vec<ShardPlan> {
             }
         }
         members[best].push(c);
-        load[best] += mass[c];
+        load[best] += m;
     }
     members
         .into_iter()
@@ -187,7 +187,12 @@ impl FleetRunner {
 /// * `daily_peak_throughput`: element-wise sum in shard-index order (each
 ///   shard carries a disjoint slice of concurrent sessions).
 /// * `daily_unique_paths`: per-day set union of realized-path hashes.
-/// * Counters: summed.
+/// * Recovery records: k-way merge by `(at, shard index, position)`, like
+///   sessions.
+/// * `faults_injected`: shard 0's count — the fault schedule is derived
+///   from the workload seed alone, so every shard injects the identical
+///   episodes and summing would multiply-count them.
+/// * Other counters: summed.
 fn merge(outputs: Vec<ShardOutput>, days: usize) -> FleetReport {
     let mut merged = FleetReport::default();
     let mut order: Vec<(SimTime, usize, usize)> = Vec::new();
@@ -205,6 +210,9 @@ fn merge(outputs: Vec<ShardOutput>, days: usize) -> FleetReport {
     }
 
     merged.hourly_loss = outputs[0].report.hourly_loss.clone();
+    merged.faults_injected = outputs[0].report.faults_injected;
+    merged.recoveries_livenet = merge_recoveries(&outputs, |r| &r.recoveries_livenet);
+    merged.recoveries_hier = merge_recoveries(&outputs, |r| &r.recoveries_hier);
 
     merged.daily_peak_throughput = vec![0.0; days];
     let mut day_sets: Vec<HashSet<u64>> = vec![HashSet::new(); days];
@@ -218,9 +226,28 @@ fn merge(outputs: Vec<ShardOutput>, days: usize) -> FleetReport {
         merged.skipped_offline += out.report.skipped_offline;
         merged.chain_switches += out.report.chain_switches;
         merged.recompute_rounds += out.report.recompute_rounds;
+        merged.producers_rehomed += out.report.producers_rehomed;
     }
     merged.daily_unique_paths = day_sets.iter().map(HashSet::len).collect();
     merged
+}
+
+/// K-way merge of per-shard recovery records by `(at, shard, position)`.
+fn merge_recoveries(
+    outputs: &[ShardOutput],
+    pick: impl Fn(&FleetReport) -> &Vec<RecoveryRecord>,
+) -> Vec<RecoveryRecord> {
+    let mut order: Vec<(SimTime, usize, usize)> = Vec::new();
+    for (s, out) in outputs.iter().enumerate() {
+        for (i, rec) in pick(&out.report).iter().enumerate() {
+            order.push((rec.at, s, i));
+        }
+    }
+    order.sort_unstable();
+    order
+        .iter()
+        .map(|&(_, s, i)| pick(&outputs[s].report)[i])
+        .collect()
 }
 
 #[cfg(test)]
@@ -291,6 +318,27 @@ mod tests {
         for (ln, h) in r.livenet.iter().zip(&r.hier) {
             assert_eq!(ln.start, h.start);
         }
+    }
+
+    #[test]
+    fn faulted_parallel_is_bit_identical_to_serial() {
+        use crate::fleet::FleetFault;
+        let cfg = FleetConfigBuilder::from_config(tiny_config(6))
+            .fault(FleetFault::RegionOutage {
+                at_secs: 8 * 3600,
+                down_for_secs: 1800,
+                country: 0,
+            })
+            .random_faults(2.0, (300, 900))
+            .build()
+            .unwrap();
+        let runner = FleetRunner::new(cfg).unwrap();
+        let serial = runner.run_serial();
+        let parallel = runner.run_parallel(4);
+        assert!(serial.bit_identical(&parallel));
+        assert_eq!(serial.faults_injected, parallel.faults_injected);
+        assert!(serial.faults_injected >= 3);
+        assert!(!serial.recoveries_livenet.is_empty());
     }
 
     #[test]

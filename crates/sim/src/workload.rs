@@ -236,7 +236,7 @@ impl Workload {
         let peak = self.config.peak_arrivals_per_sec * max_factor * self.rate_share;
         loop {
             let gap = self.rng.exp(1.0 / peak);
-            self.next_arrival = self.next_arrival + SimDuration::from_secs_f64(gap);
+            self.next_arrival += SimDuration::from_secs_f64(gap);
             if self.next_arrival >= self.horizon() {
                 return None;
             }

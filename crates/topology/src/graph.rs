@@ -2,7 +2,7 @@
 
 use livenet_types::{Bandwidth, Error, NodeId, Result, SimDuration};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Dynamically assigned role of a node in the flat CDN.
 ///
@@ -77,6 +77,12 @@ impl LinkMetrics {
 pub struct Topology {
     nodes: BTreeMap<NodeId, NodeInfo>,
     links: BTreeMap<NodeId, BTreeMap<NodeId, LinkMetrics>>,
+    /// Nodes currently marked down by the fault layer. Kept separate from
+    /// `NodeInfo` so liveness is orthogonal to the measured state: a node
+    /// that comes back keeps its last-reported metrics.
+    down_nodes: BTreeSet<NodeId>,
+    /// Directed links currently marked down (beyond any down endpoints).
+    down_links: BTreeSet<(NodeId, NodeId)>,
 }
 
 impl Topology {
@@ -141,11 +147,11 @@ impl Topology {
         self.nodes.keys().copied()
     }
 
-    /// Non-last-resort node IDs (the routable set).
+    /// Non-last-resort, currently-up node IDs (the routable set).
     pub fn routable_node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.nodes
             .values()
-            .filter(|n| !n.last_resort)
+            .filter(|n| !n.last_resort && !self.down_nodes.contains(&n.id))
             .map(|n| n.id)
     }
 
@@ -154,12 +160,79 @@ impl Topology {
         self.nodes.values().filter(|n| n.last_resort).map(|n| n.id)
     }
 
+    /// Mark a node up or down. Down nodes drop out of `routable_node_ids`
+    /// and `neighbors`, so path computation routes around them without the
+    /// graph forgetting the node's links. No-op for unknown ids.
+    pub fn set_node_up(&mut self, id: NodeId, up: bool) {
+        if !self.nodes.contains_key(&id) {
+            return;
+        }
+        if up {
+            self.down_nodes.remove(&id);
+        } else {
+            self.down_nodes.insert(id);
+        }
+    }
+
+    /// Whether a node is currently up (unknown nodes count as down).
+    pub fn node_is_up(&self, id: NodeId) -> bool {
+        self.nodes.contains_key(&id) && !self.down_nodes.contains(&id)
+    }
+
+    /// Mark a directed link up or down without touching its metrics.
+    pub fn set_link_up(&mut self, from: NodeId, to: NodeId, up: bool) {
+        if self.link(from, to).is_none() {
+            return;
+        }
+        if up {
+            self.down_links.remove(&(from, to));
+        } else {
+            self.down_links.insert((from, to));
+        }
+    }
+
+    /// Mark both directions of a link up or down.
+    pub fn set_duplex_up(&mut self, a: NodeId, b: NodeId, up: bool) {
+        self.set_link_up(a, b, up);
+        self.set_link_up(b, a, up);
+    }
+
+    /// Whether a directed link is usable: it exists, is not itself down,
+    /// and both endpoints are up.
+    pub fn link_is_up(&self, from: NodeId, to: NodeId) -> bool {
+        self.link(from, to).is_some()
+            && !self.down_links.contains(&(from, to))
+            && self.node_is_up(from)
+            && self.node_is_up(to)
+    }
+
+    /// Currently-down node IDs, deterministic order.
+    pub fn down_node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.down_nodes.iter().copied()
+    }
+
+    /// All node IDs in the given country, deterministic order (region
+    /// outage support).
+    pub fn nodes_in_country(&self, country: u32) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .values()
+            .filter(move |n| n.country == country)
+            .map(|n| n.id)
+    }
+
     /// Out-neighbors of `from` with link metrics, deterministic order.
+    /// Down links and links to down endpoints are excluded, so routing
+    /// sees only the live graph.
     pub fn neighbors(&self, from: NodeId) -> impl Iterator<Item = (NodeId, &LinkMetrics)> {
         self.links
             .get(&from)
             .into_iter()
             .flat_map(|m| m.iter().map(|(k, v)| (*k, v)))
+            .filter(move |(to, _)| {
+                !self.down_links.contains(&(from, *to))
+                    && !self.down_nodes.contains(&from)
+                    && !self.down_nodes.contains(to)
+            })
     }
 
     /// All directed links `(from, to, metrics)` in deterministic order.
@@ -283,6 +356,56 @@ mod tests {
         t.upsert_node(lr);
         assert_eq!(t.routable_node_ids().count(), 1);
         assert_eq!(t.last_resort_ids().count(), 1);
+    }
+
+    #[test]
+    fn down_node_leaves_routable_set_and_neighbor_lists() {
+        let mut t = Topology::new();
+        for i in 1..=3 {
+            t.upsert_node(node(i, 0));
+        }
+        t.upsert_duplex(NodeId::new(1), NodeId::new(2), link(10)).unwrap();
+        t.upsert_duplex(NodeId::new(2), NodeId::new(3), link(10)).unwrap();
+        assert!(t.node_is_up(NodeId::new(2)));
+        t.set_node_up(NodeId::new(2), false);
+        assert!(!t.node_is_up(NodeId::new(2)));
+        assert_eq!(t.routable_node_ids().count(), 2);
+        assert_eq!(t.neighbors(NodeId::new(1)).count(), 0);
+        assert_eq!(t.neighbors(NodeId::new(2)).count(), 0);
+        assert!(!t.link_is_up(NodeId::new(1), NodeId::new(2)));
+        // Metrics survive the outage.
+        assert!(t.link(NodeId::new(1), NodeId::new(2)).is_some());
+        t.set_node_up(NodeId::new(2), true);
+        assert_eq!(t.routable_node_ids().count(), 3);
+        assert_eq!(t.neighbors(NodeId::new(1)).count(), 1);
+    }
+
+    #[test]
+    fn down_link_is_directional_and_duplex_helper_covers_both() {
+        let mut t = Topology::new();
+        t.upsert_node(node(1, 0));
+        t.upsert_node(node(2, 0));
+        t.upsert_duplex(NodeId::new(1), NodeId::new(2), link(10)).unwrap();
+        t.set_link_up(NodeId::new(1), NodeId::new(2), false);
+        assert!(!t.link_is_up(NodeId::new(1), NodeId::new(2)));
+        assert!(t.link_is_up(NodeId::new(2), NodeId::new(1)));
+        assert_eq!(t.neighbors(NodeId::new(1)).count(), 0);
+        assert_eq!(t.neighbors(NodeId::new(2)).count(), 1);
+        t.set_duplex_up(NodeId::new(1), NodeId::new(2), false);
+        assert!(!t.link_is_up(NodeId::new(2), NodeId::new(1)));
+        t.set_duplex_up(NodeId::new(1), NodeId::new(2), true);
+        assert!(t.link_is_up(NodeId::new(1), NodeId::new(2)));
+        assert!(t.link_is_up(NodeId::new(2), NodeId::new(1)));
+    }
+
+    #[test]
+    fn nodes_in_country_selects_region() {
+        let mut t = Topology::new();
+        t.upsert_node(node(1, 0));
+        t.upsert_node(node(2, 7));
+        t.upsert_node(node(3, 7));
+        let region: Vec<u64> = t.nodes_in_country(7).map(NodeId::raw).collect();
+        assert_eq!(region, vec![2, 3]);
     }
 
     #[test]

@@ -98,7 +98,11 @@ impl SeqNo {
     }
 
     /// The sequence number `n` steps after `self`, wrapping.
+    ///
+    /// Deliberately not `impl Add`: this is serial-number arithmetic, and
+    /// an operator would read as plain integer addition.
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, n: u16) -> SeqNo {
         SeqNo(self.0.wrapping_add(n))
     }

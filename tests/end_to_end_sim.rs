@@ -110,7 +110,7 @@ fn run_scenario(seed: u64, loss: f64) -> (u64, u32, usize) {
 #[test]
 fn brain_path_streams_end_to_end_lossless() {
     let (frames, stalls, hops) = run_scenario(3, 0.0);
-    assert!(hops >= 1 && hops <= 3, "hops={hops}");
+    assert!((1..=3).contains(&hops), "hops={hops}");
     assert!(frames >= 70, "only {frames} frames rendered");
     assert_eq!(stalls, 0);
 }

@@ -1,0 +1,715 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the `proptest!` macro (typed args and `pat in strategy`
+//! args), `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`/`prop_assume!`,
+//! `any::<T>()`, range and tuple strategies, `prop::collection::vec`, and
+//! `Strategy::prop_map`. Cases are sampled from a deterministic per-test
+//! RNG (seeded from the test name), so failures reproduce across runs.
+//! There is **no shrinking**: a failing case is reported as sampled.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator behind every property test (xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seed from a test name: FNV-1a over the bytes, SplitMix64 expansion.
+    pub fn deterministic(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut z = h;
+        let mut next = move || {
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut x = z;
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^ (x >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let out = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer below `width` (widening multiply).
+    pub fn below(&mut self, width: u64) -> u64 {
+        ((u128::from(self.next_u64()) * u128::from(width)) >> 64) as u64
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!`; it does not count.
+    Reject,
+    /// A `prop_assert!` failed with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Construct a failure.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Construct a rejection.
+    pub fn reject(_reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject
+    }
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run.
+    pub cases: u32,
+    /// Maximum `Reject`s tolerated before the runner gives up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running exactly `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// A generator of values for one test argument.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Sample one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Sample an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arb_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arb_int!(i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric, wide dynamic range; avoids NaN/inf, which
+        // is what these tests want from "any float".
+        let mag = rng.unit_f64() * 1e12;
+        if rng.next_u64() & 1 == 1 {
+            -mag
+        } else {
+            mag
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+/// Strategy for any value of `T` (see [`any`]).
+#[derive(Debug, Clone)]
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+macro_rules! range_uint_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + rng.below(width) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let width = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if width == 0 {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(width) as $t
+            }
+        }
+    )*};
+}
+range_uint_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! range_sint_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                (self.start as i64).wrapping_add(rng.below(width) as i64) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let width = (hi as i64).wrapping_sub(lo as i64) as u64;
+                (lo as i64).wrapping_add(rng.below(width.wrapping_add(1)) as i64) as $t
+            }
+        }
+    )*};
+}
+range_sint_strategy!(i8, i16, i32, i64, isize);
+
+macro_rules! range_float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+range_float_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}
+
+/// Strategy combinator modules (`prop::collection::vec` etc).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::fmt::Debug;
+        use std::ops::Range;
+
+        /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S>
+        where
+            S::Value: Debug,
+        {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = Strategy::sample(&self.size, rng);
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+
+        /// A vector whose length is drawn from `size` and whose elements
+        /// come from `element`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S>
+        where
+            S::Value: Debug,
+        {
+            VecStrategy { element, size }
+        }
+    }
+
+    /// `Option` strategies.
+    pub mod option {
+        use super::super::{Strategy, TestRng};
+        use std::fmt::Debug;
+
+        /// Strategy for `Option<S::Value>`.
+        #[derive(Debug, Clone)]
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S>
+        where
+            S::Value: Debug,
+        {
+            type Value = Option<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+                // `Some` three times out of four, like the real crate's
+                // default weighting.
+                if !rng.next_u64().is_multiple_of(4) {
+                    Some(self.inner.sample(rng))
+                } else {
+                    None
+                }
+            }
+        }
+
+        /// `None` a quarter of the time, `Some` of `inner` otherwise.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S>
+        where
+            S::Value: Debug,
+        {
+            OptionStrategy { inner }
+        }
+    }
+}
+
+/// String-pattern strategy: a `&str` literal acts as a generator for
+/// strings matching a small regex subset — literal characters, character
+/// classes `[a-z0-9_]` (ranges and singletons), and quantifiers `{n}`,
+/// `{m,n}`, `?`, `+`, `*` (unbounded repeats capped at 8).
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let chars: Vec<char> = self.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            // One atom: a class or a literal character.
+            let alphabet: Vec<char> = if chars[i] == '[' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .expect("unclosed character class in pattern strategy");
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        set.extend((lo..=hi).filter(|c| c.is_ascii()));
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                set
+            } else {
+                let c = if chars[i] == '\\' && i + 1 < chars.len() {
+                    i += 1;
+                    chars[i]
+                } else {
+                    chars[i]
+                };
+                i += 1;
+                vec![c]
+            };
+            // Optional quantifier.
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .expect("unclosed quantifier in pattern strategy");
+                let spec: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match spec.split_once(',') {
+                    Some((m, n)) => (
+                        m.parse::<usize>().expect("bad quantifier"),
+                        n.parse::<usize>().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n = spec.parse::<usize>().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            } else if i < chars.len() && chars[i] == '?' {
+                i += 1;
+                (0, 1)
+            } else if i < chars.len() && chars[i] == '+' {
+                i += 1;
+                (1, 8)
+            } else if i < chars.len() && chars[i] == '*' {
+                i += 1;
+                (0, 8)
+            } else {
+                (1, 1)
+            };
+            let count = lo + (rng.next_u64() as usize) % (hi - lo + 1);
+            for _ in 0..count {
+                let pick = (rng.next_u64() as usize) % alphabet.len();
+                out.push(alphabet[pick]);
+            }
+        }
+        out
+    }
+}
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        any, Arbitrary, Just, ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Assert inside a property test; failure reports the sampled case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?} == {:?}` ({} == {}) at {}:{}",
+                left,
+                right,
+                stringify!($left),
+                stringify!($right),
+                file!(),
+                line!()
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?} != {:?}` at {}:{}",
+                left,
+                right,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+/// Reject the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Define property tests.
+///
+/// Supports the classic proptest surface: an optional
+/// `#![proptest_config(expr)]` header and test functions whose arguments
+/// are either `name: Type` (expands to `any::<Type>()`) or
+/// `pattern in strategy`.
+#[macro_export]
+macro_rules! proptest {
+    // ---- internal: iterate over test fns ----
+    (@fns ($cfg:expr)) => {};
+    (@fns ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident ( $($args:tt)* ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::proptest!(@args ($cfg, $name) [] ($($args)*) $body);
+        }
+        $crate::proptest!(@fns ($cfg) $($rest)*);
+    };
+
+    // ---- internal: parse the argument list into (pattern, strategy) pairs ----
+    // Typed argument: `name: Type`
+    (@args $ctx:tt [$($done:tt)*] ( $arg:ident : $ty:ty , $($rest:tt)* ) $body:block) => {
+        $crate::proptest!(@args $ctx [$($done)* {($arg) ($crate::any::<$ty>())}] ($($rest)*) $body)
+    };
+    (@args $ctx:tt [$($done:tt)*] ( $arg:ident : $ty:ty ) $body:block) => {
+        $crate::proptest!(@args $ctx [$($done)* {($arg) ($crate::any::<$ty>())}] () $body)
+    };
+    // Strategy argument with a `mut` binding: `mut name in strategy`
+    (@args $ctx:tt [$($done:tt)*] ( mut $arg:ident in $($rest:tt)* ) $body:block) => {
+        $crate::proptest!(@expr $ctx [$($done)*] (mut $arg) [] ($($rest)*) $body)
+    };
+    // Strategy argument: `name in strategy`
+    (@args $ctx:tt [$($done:tt)*] ( $arg:ident in $($rest:tt)* ) $body:block) => {
+        $crate::proptest!(@expr $ctx [$($done)*] ($arg) [] ($($rest)*) $body)
+    };
+    // Strategy argument with a tuple/struct pattern: `(a, b) in strategy`
+    (@args $ctx:tt [$($done:tt)*] ( ($($pat:tt)*) in $($rest:tt)* ) $body:block) => {
+        $crate::proptest!(@expr $ctx [$($done)*] (($($pat)*)) [] ($($rest)*) $body)
+    };
+    // ---- internal: accumulate one strategy expression up to a top-level comma ----
+    (@expr $ctx:tt [$($done:tt)*] ($($pat:tt)*) [$($acc:tt)*] ( , $($rest:tt)* ) $body:block) => {
+        $crate::proptest!(@args $ctx [$($done)* {($($pat)*) ($($acc)*)}] ($($rest)*) $body)
+    };
+    (@expr $ctx:tt [$($done:tt)*] ($($pat:tt)*) [$($acc:tt)*] () $body:block) => {
+        $crate::proptest!(@args $ctx [$($done)* {($($pat)*) ($($acc)*)}] () $body)
+    };
+    (@expr $ctx:tt [$($done:tt)*] ($($pat:tt)*) [$($acc:tt)*] ( $t:tt $($rest:tt)* ) $body:block) => {
+        $crate::proptest!(@expr $ctx [$($done)*] ($($pat)*) [$($acc)* $t] ($($rest)*) $body)
+    };
+
+    // ---- internal: emit the runner ----
+    (@args ($cfg:expr, $name:ident) [$({($($pat:tt)*) ($($strat:tt)*)})*] () $body:block) => {{
+        let __config: $crate::ProptestConfig = $cfg;
+        let mut __rng = $crate::TestRng::deterministic(concat!(
+            module_path!(),
+            "::",
+            stringify!($name)
+        ));
+        let mut __accepted: u32 = 0;
+        let mut __rejected: u32 = 0;
+        while __accepted < __config.cases {
+            let __values = ( $( $crate::Strategy::sample(&($($strat)*), &mut __rng), )* );
+            let __case_desc = format!("{:?}", __values);
+            // A `let` destructure (rather than closure parameters) so the
+            // concrete type of `__values` flows into the bindings — closure
+            // param inference cannot resolve field accesses on `_`-typed
+            // arguments.
+            let __outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                (move || {
+                    let ( $($($pat)*,)* ) = __values;
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+            match __outcome {
+                ::core::result::Result::Ok(()) => {
+                    __accepted += 1;
+                }
+                ::core::result::Result::Err($crate::TestCaseError::Reject) => {
+                    __rejected += 1;
+                    if __rejected > __config.max_global_rejects {
+                        panic!(
+                            "proptest '{}': too many prop_assume! rejections ({})",
+                            stringify!($name),
+                            __rejected
+                        );
+                    }
+                }
+                ::core::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                    panic!(
+                        "proptest '{}' failed after {} passing case(s)\n  args: {}\n  {}",
+                        stringify!($name),
+                        __accepted,
+                        __case_desc,
+                        __msg
+                    );
+                }
+            }
+        }
+    }};
+
+    // ---- public entry points ----
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::proptest!(@fns ($cfg) $($rest)*);
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(@fns ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn typed_and_strategy_args(x: u16, y in 1u64..100, v in prop::collection::vec(0u8..10, 0..8)) {
+            prop_assert!((1..100).contains(&y));
+            prop_assert!(v.len() < 8);
+            prop_assert!(v.iter().all(|&b| b < 10));
+            let _ = x;
+        }
+
+        #[test]
+        fn tuples_and_prop_map(pair in (0u32..4, 0u32..4).prop_map(|(a, b)| (a, a + b))) {
+            let (a, sum) = pair;
+            prop_assert!(sum >= a);
+        }
+
+        #[test]
+        fn assume_rejects(a: u8, b: u8) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn config_header_accepted(x in 0usize..5) {
+            prop_assert!(x < 5);
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_streams() {
+        let mut a = TestRng::deterministic("t");
+        let mut b = TestRng::deterministic("t");
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements the exact subset this workspace uses: `SmallRng` (the same
+//! xoshiro256++ generator with SplitMix64 `seed_from_u64` expansion the real
+//! `rand 0.8` uses on 64-bit targets), the `Rng`/`SeedableRng` traits, the
+//! `gen`/`gen_range` surface for the unsigned/float/usize ranges that appear
+//! in the code, and nothing else. Streams are deterministic functions of the
+//! seed, which is all the workspace's reproducibility contract requires.
+
+#![forbid(unsafe_code)]
+
+/// Random number generators.
+pub mod rngs {
+    /// A small, fast, deterministic generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+use rngs::SmallRng;
+
+/// Core entropy source: everything derives from `next_u64`.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl RngCore for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Seedable construction.
+pub trait SeedableRng: Sized {
+    /// Expand a 64-bit seed into generator state.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> SmallRng {
+        // SplitMix64 expansion, as rand_core does for integer seeds.
+        let mut z = seed;
+        let mut next = move || {
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut x = z;
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^ (x >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        SmallRng { s }
+    }
+}
+
+/// Sampling of a "standard" value of a type (uniform bits; floats in [0,1)).
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+impl Standard for u16 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u16 {
+        (rng.next_u64() >> 48) as u16
+    }
+}
+impl Standard for u8 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u8 {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 uniform bits over [0, 1), as the real Standard distribution.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        ((rng.next_u64() >> 40) as u32) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// A range usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+// Integer ranges replicate rand 0.8.5's `sample_single_inclusive` exactly
+// (widening multiply with zone rejection), so that a given seed produces
+// the same draw sequence — and consumes the same number of generator
+// outputs — as the real crate. Types at or below 16 bits use the modulus
+// zone over a 32-bit working width; wider types use the shift
+// approximation over their own width.
+macro_rules! int_range_32 {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                (self.start..=self.end - 1).sample_from(rng)
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                let range = (hi as u32).wrapping_sub(lo as u32).wrapping_add(1);
+                if range == 0 {
+                    return <u32 as Standard>::sample(rng) as $t;
+                }
+                let zone = if <$t>::MAX as u32 <= u16::MAX as u32 {
+                    let ints_to_reject = (u32::MAX - range + 1) % range;
+                    u32::MAX - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v = <u32 as Standard>::sample(rng);
+                    let m = u64::from(v) * u64::from(range);
+                    let (hi_w, lo_w) = ((m >> 32) as u32, m as u32);
+                    if lo_w <= zone {
+                        return lo.wrapping_add(hi_w as $t);
+                    }
+                }
+            }
+        }
+    )*};
+}
+int_range_32!(u8, u16, u32);
+
+macro_rules! int_range_64 {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                (self.start..=self.end - 1).sample_from(rng)
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                let range = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if range == 0 {
+                    return rng.next_u64() as $t;
+                }
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = rng.next_u64();
+                    let m = u128::from(v) * u128::from(range);
+                    let (hi_w, lo_w) = ((m >> 64) as u64, m as u64);
+                    if lo_w <= zone {
+                        return lo.wrapping_add(hi_w as $t);
+                    }
+                }
+            }
+        }
+    )*};
+}
+int_range_64!(u64, usize);
+
+// Float ranges replicate rand 0.8.5's single-sample method: draw a
+// mantissa-uniform value in [1, 2), scale into the range, reject the rare
+// boundary overshoot. One generator output per accepted draw, like the
+// real crate.
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        let scale = self.end - self.start;
+        loop {
+            let value1_2 = f64::from_bits((rng.next_u64() >> 12) | (1023u64 << 52));
+            let res = value1_2 * scale + (self.start - scale);
+            if res < self.end {
+                return res;
+            }
+        }
+    }
+}
+
+impl SampleRange<f32> for std::ops::Range<f32> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        let scale = self.end - self.start;
+        loop {
+            let bits = <u32 as Standard>::sample(rng);
+            let value1_2 = f32::from_bits((bits >> 9) | (127u32 << 23));
+            let res = value1_2 * scale + (self.start - scale);
+            if res < self.end {
+                return res;
+            }
+        }
+    }
+}
+
+/// The user-facing sampling interface.
+pub trait Rng: RngCore {
+    /// Draw a standard value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draw a value uniformly from a range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli trial.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        <f64 as Standard>::sample(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: u64 = r.gen_range(10..20);
+            assert!((10..20).contains(&x));
+            let y: usize = r.gen_range(0..=3);
+            assert!(y <= 3);
+            let f: f64 = r.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut r = SmallRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let f: f64 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

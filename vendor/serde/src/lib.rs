@@ -1,0 +1,9 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op derives. The workspace only ever writes
+//! `#[derive(Serialize, Deserialize)]`; no format crate is present, so no
+//! trait machinery is needed beyond the names resolving.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

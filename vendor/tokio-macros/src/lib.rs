@@ -1,0 +1,78 @@
+//! Offline stand-in for `tokio-macros`.
+//!
+//! Rewrites `async fn` items to synchronous functions that drive the body
+//! on the vendored single-threaded runtime (`tokio::runtime::block_on`).
+//! Attribute arguments (`flavor`, `worker_threads`) are accepted and
+//! ignored — the stand-in runtime is always current-thread.
+
+use proc_macro::{Delimiter, Group, Ident, Punct, Spacing, Span, TokenStream, TokenTree};
+
+/// Rewrite `async fn f(..) -> T { body }` into
+/// `fn f(..) -> T { tokio::runtime::block_on(async move { body }) }`,
+/// optionally prefixing extra attribute tokens (e.g. `#[test]`).
+fn rewrite(item: TokenStream, prefix_test_attr: bool) -> TokenStream {
+    let tokens: Vec<TokenTree> = item.into_iter().collect();
+    let mut out: Vec<TokenTree> = Vec::new();
+
+    if prefix_test_attr {
+        out.push(TokenTree::Punct(Punct::new('#', Spacing::Alone)));
+        let inner: TokenStream = [TokenTree::Ident(Ident::new("test", Span::call_site()))]
+            .into_iter()
+            .collect();
+        out.push(TokenTree::Group(Group::new(Delimiter::Bracket, inner)));
+    }
+
+    // The body is the final brace group; everything before it is the
+    // signature (with `async` removed).
+    let body_at = tokens
+        .iter()
+        .rposition(|t| matches!(t, TokenTree::Group(g) if g.delimiter() == Delimiter::Brace))
+        .expect("async fn item must end in a brace-delimited body");
+
+    for t in &tokens[..body_at] {
+        if let TokenTree::Ident(id) = t {
+            if id.to_string() == "async" {
+                continue;
+            }
+        }
+        out.push(t.clone());
+    }
+
+    let body = match &tokens[body_at] {
+        TokenTree::Group(g) => g.stream(),
+        _ => unreachable!(),
+    };
+
+    // { ::tokio::runtime::block_on(async move { body }) }
+    let mut call: Vec<TokenTree> = Vec::new();
+    for part in ["tokio", "runtime", "block_on"] {
+        call.push(TokenTree::Punct(Punct::new(':', Spacing::Joint)));
+        call.push(TokenTree::Punct(Punct::new(':', Spacing::Alone)));
+        call.push(TokenTree::Ident(Ident::new(part, Span::call_site())));
+    }
+    let mut args: Vec<TokenTree> = vec![
+        TokenTree::Ident(Ident::new("async", Span::call_site())),
+        TokenTree::Ident(Ident::new("move", Span::call_site())),
+        TokenTree::Group(Group::new(Delimiter::Brace, body)),
+    ];
+    // Fix the leading path: the loop above produced `::tokio::runtime::block_on`
+    // piecewise; assemble `(async move { .. })` as its argument.
+    let call_args: TokenStream = args.drain(..).collect();
+    call.push(TokenTree::Group(Group::new(Delimiter::Parenthesis, call_args)));
+    let new_body: TokenStream = call.into_iter().collect();
+    out.push(TokenTree::Group(Group::new(Delimiter::Brace, new_body)));
+
+    out.into_iter().collect()
+}
+
+/// `#[tokio::main]` — run the async main on the stand-in runtime.
+#[proc_macro_attribute]
+pub fn main(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    rewrite(item, false)
+}
+
+/// `#[tokio::test]` — run the async test on the stand-in runtime.
+#[proc_macro_attribute]
+pub fn test(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    rewrite(item, true)
+}

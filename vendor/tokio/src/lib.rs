@@ -1,0 +1,733 @@
+//! Offline stand-in for `tokio`.
+//!
+//! A single-threaded cooperative runtime over nonblocking std I/O,
+//! implementing exactly the subset the `livenet-transport` crate uses:
+//! `spawn`/`JoinHandle`, `net::UdpSocket`, `sync::mpsc`, `time::{Instant,
+//! sleep, sleep_until, timeout}`, `select!` (treated as `biased`), and the
+//! `#[tokio::main]` / `#[tokio::test]` attributes. The executor busy-polls
+//! all tasks with a no-op waker and a short park between rounds, which is
+//! plenty for loopback-UDP integration tests; it is not a production
+//! scheduler and never pretends to be multi-threaded.
+
+#![forbid(unsafe_code)]
+
+pub use tokio_macros::{main, test};
+
+pub mod runtime {
+    //! The cooperative executor.
+
+    use std::cell::RefCell;
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::task::{Context, Poll, Waker};
+
+    thread_local! {
+        static TASKS: RefCell<Vec<Pin<Box<dyn Future<Output = ()>>>>> =
+            const { RefCell::new(Vec::new()) };
+        static SPAWNED: RefCell<Vec<Pin<Box<dyn Future<Output = ()>>>>> =
+            const { RefCell::new(Vec::new()) };
+    }
+
+    /// Poll a pinned future once with a no-op waker.
+    pub fn poll_once<F: Future + ?Sized>(fut: Pin<&mut F>) -> Poll<F::Output> {
+        let mut cx = Context::from_waker(Waker::noop());
+        fut.poll(&mut cx)
+    }
+
+    pub(crate) fn enqueue(task: Pin<Box<dyn Future<Output = ()>>>) {
+        SPAWNED.with(|s| s.borrow_mut().push(task));
+    }
+
+    fn poll_task_round() {
+        // Move the task list out so tasks can spawn re-entrantly.
+        let mut tasks = TASKS.with(|t| std::mem::take(&mut *t.borrow_mut()));
+        SPAWNED.with(|s| tasks.append(&mut s.borrow_mut()));
+        let mut cx = Context::from_waker(Waker::noop());
+        tasks.retain_mut(|task| task.as_mut().poll(&mut cx).is_pending());
+        TASKS.with(|t| t.borrow_mut().append(&mut tasks));
+    }
+
+    /// Drive `future` to completion, cooperatively polling spawned tasks.
+    ///
+    /// When the main future resolves, still-pending spawned tasks are
+    /// dropped — the same semantics as dropping a tokio runtime.
+    pub fn block_on<F: Future>(future: F) -> F::Output {
+        let mut main = Box::pin(future);
+        let mut cx = Context::from_waker(Waker::noop());
+        loop {
+            if let Poll::Ready(out) = main.as_mut().poll(&mut cx) {
+                TASKS.with(|t| t.borrow_mut().clear());
+                SPAWNED.with(|s| s.borrow_mut().clear());
+                return out;
+            }
+            poll_task_round();
+            // Nothing woke us specifically (no reactor); park briefly so
+            // nonblocking I/O and timers are re-checked promptly without
+            // spinning a core flat out.
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        }
+    }
+
+    /// A future that reports `Pending` once, then `Ready` — lets sibling
+    /// arms and tasks run between polls of a `select!` loop.
+    pub struct YieldNow {
+        yielded: bool,
+    }
+
+    impl Future for YieldNow {
+        type Output = ();
+        fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+            if self.yielded {
+                Poll::Ready(())
+            } else {
+                self.yielded = true;
+                Poll::Pending
+            }
+        }
+    }
+
+    /// Yield to the executor once.
+    pub fn yield_now() -> YieldNow {
+        YieldNow { yielded: false }
+    }
+}
+
+pub mod task {
+    //! Task handles.
+
+    use std::cell::RefCell;
+    use std::fmt;
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::rc::Rc;
+    use std::task::{Context, Poll};
+
+    /// Error awaiting a task (never produced by the stand-in: tasks that
+    /// panic unwind through the executor instead).
+    #[derive(Debug)]
+    pub struct JoinError;
+
+    impl fmt::Display for JoinError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "task failed")
+        }
+    }
+
+    impl std::error::Error for JoinError {}
+
+    /// Handle to a spawned task's result.
+    pub struct JoinHandle<T> {
+        pub(crate) slot: Rc<RefCell<Option<T>>>,
+    }
+
+    impl<T> fmt::Debug for JoinHandle<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("JoinHandle")
+        }
+    }
+
+    impl<T> Future for JoinHandle<T> {
+        type Output = Result<T, JoinError>;
+        fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+            match self.slot.borrow_mut().take() {
+                Some(v) => Poll::Ready(Ok(v)),
+                None => Poll::Pending,
+            }
+        }
+    }
+}
+
+/// Spawn a future onto the executor.
+///
+/// The stand-in runtime is single-threaded, so `Send` is not required.
+pub fn spawn<F>(future: F) -> task::JoinHandle<F::Output>
+where
+    F: std::future::Future + 'static,
+    F::Output: 'static,
+{
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    let slot: Rc<RefCell<Option<F::Output>>> = Rc::new(RefCell::new(None));
+    let out = Rc::clone(&slot);
+    runtime::enqueue(Box::pin(async move {
+        let v = future.await;
+        *out.borrow_mut() = Some(v);
+    }));
+    task::JoinHandle { slot }
+}
+
+pub mod net {
+    //! Nonblocking std sockets with async accessors.
+
+    use std::io;
+    use std::net::{SocketAddr, ToSocketAddrs};
+
+    /// A UDP socket usable from async code.
+    #[derive(Debug)]
+    pub struct UdpSocket {
+        inner: std::net::UdpSocket,
+    }
+
+    impl UdpSocket {
+        /// Bind a socket (nonblocking).
+        pub async fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<UdpSocket> {
+            let inner = std::net::UdpSocket::bind(addr)?;
+            inner.set_nonblocking(true)?;
+            Ok(UdpSocket { inner })
+        }
+
+        /// The bound local address.
+        pub fn local_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.local_addr()
+        }
+
+        /// Receive one datagram.
+        pub async fn recv_from(&self, buf: &mut [u8]) -> io::Result<(usize, SocketAddr)> {
+            futures_util::RecvFrom { sock: &self.inner, buf }.await
+        }
+
+        /// Send one datagram.
+        pub async fn send_to<A: ToSocketAddrs>(&self, buf: &[u8], target: A) -> io::Result<usize> {
+            let addr = target
+                .to_socket_addrs()?
+                .next()
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address"))?;
+            futures_util::SendTo { sock: &self.inner, buf, addr }.await
+        }
+    }
+
+    mod futures_util {
+        use std::future::Future;
+        use std::io;
+        use std::net::SocketAddr;
+        use std::pin::Pin;
+        use std::task::{Context, Poll};
+
+        pub struct RecvFrom<'a, 'b> {
+            pub sock: &'a std::net::UdpSocket,
+            pub buf: &'b mut [u8],
+        }
+
+        impl Future for RecvFrom<'_, '_> {
+            type Output = io::Result<(usize, SocketAddr)>;
+            fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+                let me = self.get_mut();
+                match me.sock.recv_from(me.buf) {
+                    Ok(v) => Poll::Ready(Ok(v)),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => Poll::Pending,
+                    Err(e) => Poll::Ready(Err(e)),
+                }
+            }
+        }
+
+        pub struct SendTo<'a, 'b> {
+            pub sock: &'a std::net::UdpSocket,
+            pub buf: &'b [u8],
+            pub addr: SocketAddr,
+        }
+
+        impl Future for SendTo<'_, '_> {
+            type Output = io::Result<usize>;
+            fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+                let me = self.get_mut();
+                match me.sock.send_to(me.buf, me.addr) {
+                    Ok(n) => Poll::Ready(Ok(n)),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => Poll::Pending,
+                    Err(e) => Poll::Ready(Err(e)),
+                }
+            }
+        }
+    }
+}
+
+pub mod sync {
+    //! Synchronization primitives.
+
+    pub mod mpsc {
+        //! Multi-producer, single-consumer channels (single-threaded stand-in).
+
+        use std::cell::RefCell;
+        use std::collections::VecDeque;
+        use std::fmt;
+        use std::future::Future;
+        use std::pin::Pin;
+        use std::rc::Rc;
+        use std::task::{Context, Poll};
+
+        struct Chan<T> {
+            queue: VecDeque<T>,
+            senders: usize,
+            rx_alive: bool,
+        }
+
+        /// Error returned when sending on a closed channel.
+        pub struct SendError<T>(pub T);
+
+        impl<T> fmt::Debug for SendError<T> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("SendError(..)")
+            }
+        }
+
+        /// Error returned by `try_recv` on an empty or closed channel.
+        #[derive(Debug, PartialEq, Eq)]
+        pub enum TryRecvError {
+            /// Channel currently empty.
+            Empty,
+            /// All senders dropped and the queue is drained.
+            Disconnected,
+        }
+
+        /// Bounded sender (capacity is advisory in the stand-in).
+        pub struct Sender<T> {
+            chan: Rc<RefCell<Chan<T>>>,
+        }
+
+        /// Bounded receiver.
+        pub struct Receiver<T> {
+            chan: Rc<RefCell<Chan<T>>>,
+        }
+
+        /// Unbounded sender.
+        pub struct UnboundedSender<T> {
+            chan: Rc<RefCell<Chan<T>>>,
+        }
+
+        /// Unbounded receiver.
+        pub struct UnboundedReceiver<T> {
+            chan: Rc<RefCell<Chan<T>>>,
+        }
+
+        impl<T> fmt::Debug for Sender<T> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("Sender")
+            }
+        }
+        impl<T> fmt::Debug for Receiver<T> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("Receiver")
+            }
+        }
+        impl<T> fmt::Debug for UnboundedSender<T> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("UnboundedSender")
+            }
+        }
+        impl<T> fmt::Debug for UnboundedReceiver<T> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("UnboundedReceiver")
+            }
+        }
+
+        fn new_chan<T>() -> Rc<RefCell<Chan<T>>> {
+            Rc::new(RefCell::new(Chan {
+                queue: VecDeque::new(),
+                senders: 1,
+                rx_alive: true,
+            }))
+        }
+
+        /// Create a bounded channel (capacity advisory).
+        pub fn channel<T>(_capacity: usize) -> (Sender<T>, Receiver<T>) {
+            let chan = new_chan();
+            (
+                Sender { chan: Rc::clone(&chan) },
+                Receiver { chan },
+            )
+        }
+
+        /// Create an unbounded channel.
+        pub fn unbounded_channel<T>() -> (UnboundedSender<T>, UnboundedReceiver<T>) {
+            let chan = new_chan();
+            (
+                UnboundedSender { chan: Rc::clone(&chan) },
+                UnboundedReceiver { chan },
+            )
+        }
+
+        impl<T> Clone for Sender<T> {
+            fn clone(&self) -> Sender<T> {
+                self.chan.borrow_mut().senders += 1;
+                Sender { chan: Rc::clone(&self.chan) }
+            }
+        }
+        impl<T> Clone for UnboundedSender<T> {
+            fn clone(&self) -> UnboundedSender<T> {
+                self.chan.borrow_mut().senders += 1;
+                UnboundedSender { chan: Rc::clone(&self.chan) }
+            }
+        }
+        impl<T> Drop for Sender<T> {
+            fn drop(&mut self) {
+                self.chan.borrow_mut().senders -= 1;
+            }
+        }
+        impl<T> Drop for UnboundedSender<T> {
+            fn drop(&mut self) {
+                self.chan.borrow_mut().senders -= 1;
+            }
+        }
+        impl<T> Drop for Receiver<T> {
+            fn drop(&mut self) {
+                self.chan.borrow_mut().rx_alive = false;
+            }
+        }
+        impl<T> Drop for UnboundedReceiver<T> {
+            fn drop(&mut self) {
+                self.chan.borrow_mut().rx_alive = false;
+            }
+        }
+
+        fn push<T>(chan: &Rc<RefCell<Chan<T>>>, value: T) -> Result<(), SendError<T>> {
+            let mut c = chan.borrow_mut();
+            if !c.rx_alive {
+                return Err(SendError(value));
+            }
+            c.queue.push_back(value);
+            Ok(())
+        }
+
+        impl<T> Sender<T> {
+            /// Send a value (never applies backpressure in the stand-in).
+            pub async fn send(&self, value: T) -> Result<(), SendError<T>> {
+                push(&self.chan, value)
+            }
+        }
+
+        impl<T> UnboundedSender<T> {
+            /// Send a value.
+            pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+                push(&self.chan, value)
+            }
+        }
+
+        /// Future returned by `recv`.
+        pub struct Recv<'a, T> {
+            chan: &'a Rc<RefCell<Chan<T>>>,
+        }
+
+        impl<T> Future for Recv<'_, T> {
+            type Output = Option<T>;
+            fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Option<T>> {
+                let mut c = self.chan.borrow_mut();
+                match c.queue.pop_front() {
+                    Some(v) => Poll::Ready(Some(v)),
+                    None if c.senders == 0 => Poll::Ready(None),
+                    None => Poll::Pending,
+                }
+            }
+        }
+
+        fn try_recv_impl<T>(chan: &Rc<RefCell<Chan<T>>>) -> Result<T, TryRecvError> {
+            let mut c = chan.borrow_mut();
+            match c.queue.pop_front() {
+                Some(v) => Ok(v),
+                None if c.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        impl<T> Receiver<T> {
+            /// Receive the next value, or `None` once all senders are gone.
+            pub fn recv(&mut self) -> Recv<'_, T> {
+                Recv { chan: &self.chan }
+            }
+
+            /// Non-blocking receive.
+            pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
+                try_recv_impl(&self.chan)
+            }
+        }
+
+        impl<T> UnboundedReceiver<T> {
+            /// Receive the next value, or `None` once all senders are gone.
+            pub fn recv(&mut self) -> Recv<'_, T> {
+                Recv { chan: &self.chan }
+            }
+
+            /// Non-blocking receive.
+            pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
+                try_recv_impl(&self.chan)
+            }
+        }
+    }
+}
+
+pub mod time {
+    //! Timers on the std monotonic clock.
+
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::task::{Context, Poll};
+    use std::time::Duration;
+
+    /// Monotonic instant (wraps `std::time::Instant`).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+    pub struct Instant(std::time::Instant);
+
+    impl Instant {
+        /// The current instant.
+        pub fn now() -> Instant {
+            Instant(std::time::Instant::now())
+        }
+
+        /// Time elapsed since this instant.
+        pub fn elapsed(&self) -> Duration {
+            self.0.elapsed()
+        }
+
+        /// Saturating difference.
+        pub fn saturating_duration_since(&self, earlier: Instant) -> Duration {
+            self.0.saturating_duration_since(earlier.0)
+        }
+    }
+
+    impl std::ops::Add<Duration> for Instant {
+        type Output = Instant;
+        fn add(self, rhs: Duration) -> Instant {
+            Instant(self.0 + rhs)
+        }
+    }
+
+    impl std::ops::Sub<Instant> for Instant {
+        type Output = Duration;
+        fn sub(self, rhs: Instant) -> Duration {
+            self.0 - rhs.0
+        }
+    }
+
+    /// Future resolving at a deadline.
+    #[derive(Debug)]
+    pub struct Sleep {
+        deadline: std::time::Instant,
+    }
+
+    impl Future for Sleep {
+        type Output = ();
+        fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+            if std::time::Instant::now() >= self.deadline {
+                Poll::Ready(())
+            } else {
+                Poll::Pending
+            }
+        }
+    }
+
+    /// Sleep for a duration.
+    pub fn sleep(duration: Duration) -> Sleep {
+        Sleep {
+            deadline: std::time::Instant::now() + duration,
+        }
+    }
+
+    /// Sleep until an instant.
+    pub fn sleep_until(deadline: Instant) -> Sleep {
+        Sleep { deadline: deadline.0 }
+    }
+
+    pub mod error {
+        //! Timer errors.
+
+        /// The timeout elapsed before the inner future resolved.
+        #[derive(Debug)]
+        pub struct Elapsed;
+
+        impl std::fmt::Display for Elapsed {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("deadline has elapsed")
+            }
+        }
+
+        impl std::error::Error for Elapsed {}
+    }
+
+    /// Future returned by [`timeout`].
+    pub struct Timeout<F: Future> {
+        inner: Pin<Box<F>>,
+        deadline: std::time::Instant,
+    }
+
+    impl<F: Future> Future for Timeout<F> {
+        type Output = Result<F::Output, error::Elapsed>;
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let me = self.get_mut();
+            if let Poll::Ready(v) = me.inner.as_mut().poll(cx) {
+                return Poll::Ready(Ok(v));
+            }
+            if std::time::Instant::now() >= me.deadline {
+                return Poll::Ready(Err(error::Elapsed));
+            }
+            Poll::Pending
+        }
+    }
+
+    /// Bound a future by a wall-clock duration.
+    pub fn timeout<F: Future>(duration: Duration, future: F) -> Timeout<F> {
+        Timeout {
+            inner: Box::pin(future),
+            deadline: std::time::Instant::now() + duration,
+        }
+    }
+}
+
+/// Biased-order select over 2–4 async arms.
+///
+/// The stand-in always polls arms top-to-bottom (the `biased;` behaviour);
+/// without the keyword the semantics are identical.
+#[macro_export]
+macro_rules! select {
+    (biased; $($arms:tt)+) => { $crate::select_internal!($($arms)+) };
+    ($($arms:tt)+) => { $crate::select_internal!($($arms)+) };
+}
+
+/// Internal expansion of [`select!`] — do not use directly.
+#[macro_export]
+macro_rules! select_internal {
+    ($p0:pat = $f0:expr => $b0:block $p1:pat = $f1:expr => $b1:block) => {{
+        enum __Sel<T0, T1> {
+            A(T0),
+            B(T1),
+        }
+        let __choice = {
+            let mut __f0 = ::std::boxed::Box::pin($f0);
+            let mut __f1 = ::std::boxed::Box::pin($f1);
+            loop {
+                if let ::core::task::Poll::Ready(v) = $crate::runtime::poll_once(__f0.as_mut()) {
+                    break __Sel::A(v);
+                }
+                if let ::core::task::Poll::Ready(v) = $crate::runtime::poll_once(__f1.as_mut()) {
+                    break __Sel::B(v);
+                }
+                $crate::runtime::yield_now().await;
+            }
+        };
+        match __choice {
+            __Sel::A($p0) => $b0,
+            __Sel::B($p1) => $b1,
+        }
+    }};
+    ($p0:pat = $f0:expr => $b0:block $p1:pat = $f1:expr => $b1:block $p2:pat = $f2:expr => $b2:block) => {{
+        enum __Sel<T0, T1, T2> {
+            A(T0),
+            B(T1),
+            C(T2),
+        }
+        let __choice = {
+            let mut __f0 = ::std::boxed::Box::pin($f0);
+            let mut __f1 = ::std::boxed::Box::pin($f1);
+            let mut __f2 = ::std::boxed::Box::pin($f2);
+            loop {
+                if let ::core::task::Poll::Ready(v) = $crate::runtime::poll_once(__f0.as_mut()) {
+                    break __Sel::A(v);
+                }
+                if let ::core::task::Poll::Ready(v) = $crate::runtime::poll_once(__f1.as_mut()) {
+                    break __Sel::B(v);
+                }
+                if let ::core::task::Poll::Ready(v) = $crate::runtime::poll_once(__f2.as_mut()) {
+                    break __Sel::C(v);
+                }
+                $crate::runtime::yield_now().await;
+            }
+        };
+        match __choice {
+            __Sel::A($p0) => $b0,
+            __Sel::B($p1) => $b1,
+            __Sel::C($p2) => $b2,
+        }
+    }};
+    ($p0:pat = $f0:expr => $b0:block $p1:pat = $f1:expr => $b1:block $p2:pat = $f2:expr => $b2:block $p3:pat = $f3:expr => $b3:block) => {{
+        enum __Sel<T0, T1, T2, T3> {
+            A(T0),
+            B(T1),
+            C(T2),
+            D(T3),
+        }
+        let __choice = {
+            let mut __f0 = ::std::boxed::Box::pin($f0);
+            let mut __f1 = ::std::boxed::Box::pin($f1);
+            let mut __f2 = ::std::boxed::Box::pin($f2);
+            let mut __f3 = ::std::boxed::Box::pin($f3);
+            loop {
+                if let ::core::task::Poll::Ready(v) = $crate::runtime::poll_once(__f0.as_mut()) {
+                    break __Sel::A(v);
+                }
+                if let ::core::task::Poll::Ready(v) = $crate::runtime::poll_once(__f1.as_mut()) {
+                    break __Sel::B(v);
+                }
+                if let ::core::task::Poll::Ready(v) = $crate::runtime::poll_once(__f2.as_mut()) {
+                    break __Sel::C(v);
+                }
+                if let ::core::task::Poll::Ready(v) = $crate::runtime::poll_once(__f3.as_mut()) {
+                    break __Sel::D(v);
+                }
+                $crate::runtime::yield_now().await;
+            }
+        };
+        match __choice {
+            __Sel::A($p0) => $b0,
+            __Sel::B($p1) => $b1,
+            __Sel::C($p2) => $b2,
+            __Sel::D($p3) => $b3,
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn block_on_with_spawn_and_channels() {
+        let out = crate::runtime::block_on(async {
+            let (tx, mut rx) = crate::sync::mpsc::unbounded_channel::<u32>();
+            let handle = crate::spawn(async move {
+                tx.send(7).unwrap();
+                crate::time::sleep(std::time::Duration::from_millis(5)).await;
+                tx.send(8).unwrap();
+                21u32
+            });
+            let a = rx.recv().await.unwrap();
+            let b = rx.recv().await.unwrap();
+            let c = handle.await.unwrap();
+            a + b + c
+        });
+        assert_eq!(out, 36);
+    }
+
+    #[test]
+    fn timeout_and_select() {
+        crate::runtime::block_on(async {
+            let fast = crate::time::timeout(
+                std::time::Duration::from_millis(100),
+                async { 5u8 },
+            )
+            .await;
+            assert_eq!(fast.unwrap(), 5);
+            let slow = crate::time::timeout(
+                std::time::Duration::from_millis(10),
+                crate::time::sleep(std::time::Duration::from_millis(200)),
+            )
+            .await;
+            assert!(slow.is_err());
+
+            let v = crate::select! {
+                biased;
+                _ = crate::time::sleep(std::time::Duration::from_millis(1)) => { 1u8 }
+                _ = crate::time::sleep(std::time::Duration::from_millis(500)) => { 2u8 }
+            };
+            assert_eq!(v, 1);
+        });
+    }
+
+    #[test]
+    fn udp_loopback() {
+        crate::runtime::block_on(async {
+            let a = crate::net::UdpSocket::bind("127.0.0.1:0").await.unwrap();
+            let b = crate::net::UdpSocket::bind("127.0.0.1:0").await.unwrap();
+            let dest = b.local_addr().unwrap();
+            a.send_to(b"ping", dest).await.unwrap();
+            let mut buf = [0u8; 16];
+            let (n, from) = b.recv_from(&mut buf).await.unwrap();
+            assert_eq!(&buf[..n], b"ping");
+            assert_eq!(from, a.local_addr().unwrap());
+        });
+    }
+}
