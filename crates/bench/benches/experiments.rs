@@ -86,11 +86,11 @@ fn fleet_checks(report: &FleetReport) {
 
     println!("\nFig. 10 (§6.4) — control plane:");
     let mut resp = Ecdf::new();
-    for s in ln.iter().filter_map(|s| s.brain_response_ms) {
+    for s in ln.iter().filter_map(|s| s.outcome.response_ms()) {
         resp.push(f64::from(s));
     }
     check("Brain response median (ms)", resp.median(), 30.0, 60.0);
-    check("local hit ratio (%)", ratio_pct(ln, |s| s.local_hit), 55.0, 40.0);
+    check("local hit ratio (%)", ratio_pct(ln, |s| s.outcome.is_local_hit()), 55.0, 40.0);
     let mut fp = 0.0;
     for s in ln {
         fp += f64::from(s.first_packet_ms);

@@ -9,7 +9,7 @@
 //! cargo run --release --bin bench_fleet [-- --threads 8]
 //! ```
 
-use livenet_bench::SEED;
+use livenet_bench::{Report, SEED};
 use livenet_sim::{FleetConfigBuilder, FleetRunner};
 use std::time::Instant;
 
@@ -43,30 +43,35 @@ fn main() {
     let shards = cfg.shards;
     let runner = FleetRunner::new(cfg).expect("config already validated");
 
-    println!("bench_fleet: smoke workload, {shards} shards, {threads} threads");
+    let mut out = Report::new("fleet-runner throughput (serial vs parallel)", "");
+    out.meta("workload", "smoke");
+    out.meta("shards", shards.to_string());
+    out.meta("threads", threads.to_string());
 
     let t0 = Instant::now();
     let serial = runner.run_serial();
     let serial_secs = t0.elapsed().as_secs_f64();
     let sessions = serial.livenet.len();
-    println!(
+    out.note(format!(
         "serial:   {sessions} sessions in {serial_secs:.3}s ({:.0}/s)",
         sessions as f64 / serial_secs
-    );
+    ));
 
     let t1 = Instant::now();
     let parallel = runner.run_parallel(threads);
     let parallel_secs = t1.elapsed().as_secs_f64();
-    println!(
+    out.note(format!(
         "parallel: {} sessions in {parallel_secs:.3}s ({:.0}/s)",
         parallel.livenet.len(),
         parallel.livenet.len() as f64 / parallel_secs
-    );
+    ));
 
     let identical = serial.bit_identical(&parallel);
     let speedup = serial_secs / parallel_secs;
     let rss_kb = peak_rss_kb().unwrap_or(0);
-    println!("speedup: {speedup:.2}x, bit-identical: {identical}, peak RSS: {rss_kb} kB");
+    out.note(format!(
+        "speedup: {speedup:.2}x, bit-identical: {identical}, peak RSS: {rss_kb} kB"
+    ));
     assert!(identical, "parallel run diverged from serial");
 
     let json = format!(
@@ -75,5 +80,6 @@ fn main() {
         sessions as f64 / parallel_secs,
     );
     std::fs::write("BENCH_fleet.json", &json).expect("write BENCH_fleet.json");
-    println!("wrote BENCH_fleet.json");
+    out.note("wrote BENCH_fleet.json");
+    out.print();
 }

@@ -7,7 +7,7 @@
 //! keyframe — on average half a GoP (1 s for 2 s GoPs), blowing the 1 s
 //! fast-startup budget.
 
-use livenet_bench::print_table;
+use livenet_bench::Report;
 use livenet_sim::packetsim::{PacketSim, PacketSimConfig, ViewerSpec};
 use livenet_types::{Bandwidth, SimTime};
 
@@ -25,9 +25,7 @@ fn startup_ms(burst: bool, join_offset_ms: u64, seed: u64) -> Option<f64> {
 }
 
 fn main() {
-    println!("==================================================================");
-    println!("LiveNet reproduction — ablation: GoP-cache startup burst (§5.1)");
-    println!("==================================================================");
+    let mut out = Report::new("ablation: GoP-cache startup burst (§5.1)", "§5.1, Fig. 9");
     let mut rows = Vec::new();
     for burst in [true, false] {
         let mut startups = Vec::new();
@@ -46,12 +44,13 @@ fn main() {
             format!("{fast}/{}", startups.len()),
         ]);
     }
-    print_table(
+    out.table(
         &["variant", "mean startup", "worst startup", "fast (<1s)"],
         &rows,
     );
-    println!();
-    println!("Paper connection: the GoP cache is why Fig. 9's fast-startup ratio");
-    println!("stays ≈95% regardless of streaming delay, and why 95% of views");
-    println!("start within 1 s (Table 1) despite 2 s GoPs.");
+    out.note("");
+    out.note("Paper connection: the GoP cache is why Fig. 9's fast-startup ratio");
+    out.note("stays ≈95% regardless of streaming delay, and why 95% of views");
+    out.note("start within 1 s (Table 1) despite 2 s GoPs.");
+    out.print();
 }

@@ -5,7 +5,7 @@
 //! capture→render frame delay percentiles with gain 1.0 vs 1.5 on a
 //! bandwidth-constrained chain, where the big I frames actually queue.
 
-use livenet_bench::print_table;
+use livenet_bench::Report;
 use livenet_sim::packetsim::{ChainLink, PacketSim, PacketSimConfig};
 use livenet_types::{Bandwidth, Ecdf, SimTime};
 
@@ -26,9 +26,7 @@ fn run_with_gain(gain: f64) -> (f64, f64, f64) {
 }
 
 fn main() {
-    println!("==================================================================");
-    println!("LiveNet reproduction — ablation: I-frame pacing gain (§5.2)");
-    println!("==================================================================");
+    let mut out = Report::new("ablation: I-frame pacing gain (§5.2)", "§5.2");
     let mut rows = Vec::new();
     for gain in [1.0, 1.25, 1.5, 2.0] {
         let (p50, p90, p99) = run_with_gain(gain);
@@ -39,8 +37,9 @@ fn main() {
             format!("{p99:.0} ms"),
         ]);
     }
-    print_table(&["pacing gain", "p50 frame delay", "p90", "p99"], &rows);
-    println!();
-    println!("Expected shape: higher gain drains I-frame bursts faster, cutting");
-    println!("the tail (p90/p99) of frame delay on constrained links.");
+    out.table(&["pacing gain", "p50 frame delay", "p90", "p99"], &rows);
+    out.note("");
+    out.note("Expected shape: higher gain drains I-frame bursts faster, cutting");
+    out.note("the tail (p90/p99) of frame delay on constrained links.");
+    out.print();
 }

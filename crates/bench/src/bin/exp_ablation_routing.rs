@@ -9,7 +9,7 @@
 //! Reported per variant: median CDN delay, median path length, last-resort
 //! share, and the share of realized paths over 3 hops (long chains).
 
-use livenet_bench::{cli_config, median, print_table, ratio_pct, run};
+use livenet_bench::{cli_config, median, ratio_pct, run, Report};
 use livenet_brain::WeightParams;
 use livenet_sim::FleetConfigBuilder;
 
@@ -21,9 +21,7 @@ struct Variant {
 }
 
 fn main() {
-    println!("==================================================================");
-    println!("LiveNet reproduction — ablation: routing parameters (§4.3)");
-    println!("==================================================================");
+    let mut out = Report::new("ablation: routing parameters (§4.3)", "§4.3, §7.3");
     let variants = [
         Variant { name: "paper (K=3, hops<=3, sigmoid)", k: 3, max_hops: 3, alpha: 0.5 },
         Variant { name: "K=1", k: 1, max_hops: 3, alpha: 0.5 },
@@ -65,11 +63,11 @@ fn main() {
                 "{:.1}%",
                 ratio_pct(&inter, |s| s.path_len >= 3)
             ),
-            format!("{:.2}%", ratio_pct(ln, |s| s.last_resort)),
+            format!("{:.2}%", ratio_pct(ln, |s| s.outcome.is_last_resort())),
             format!("{:.1}%", ratio_pct(ln, |s| s.zero_stall())),
         ]);
     }
-    print_table(
+    out.table(
         &[
             "variant",
             "median CDN (ms)",
@@ -80,13 +78,14 @@ fn main() {
         ],
         &rows,
     );
-    println!();
-    println!("Observed shape: at normal load the headline metrics are insensitive");
-    println!("to K and the hop limit — 92% of best paths are 2 hops anyway (Table");
-    println!("2), which is itself the paper's point. hops<=2 eliminates the");
-    println!("3-hop paths inter-national sessions otherwise use ~23% of the time");
-    println!("(chosen for loss/load-adjusted weight, roughly delay-neutral in");
-    println!("this topology); hops<=4 adds only computation (the O(n^3) mesh");
-    println!("enumerator no longer applies); the Eq.3 load term and K>1 pay off");
-    println!("under overload, where invalidation forces last-resort paths.");
+    out.note("");
+    out.note("Observed shape: at normal load the headline metrics are insensitive");
+    out.note("to K and the hop limit — 92% of best paths are 2 hops anyway (Table");
+    out.note("2), which is itself the paper's point. hops<=2 eliminates the");
+    out.note("3-hop paths inter-national sessions otherwise use ~23% of the time");
+    out.note("(chosen for loss/load-adjusted weight, roughly delay-neutral in");
+    out.note("this topology); hops<=4 adds only computation (the O(n^3) mesh");
+    out.note("enumerator no longer applies); the Eq.3 load term and K>1 pay off");
+    out.note("under overload, where invalidation forces last-resort paths.");
+    out.print();
 }

@@ -8,13 +8,11 @@
 //! slow path disabled (ablation), lost packets are never recovered and
 //! viewers stall or skip frames.
 
-use livenet_bench::print_table;
+use livenet_bench::Report;
 use livenet_sim::packetsim::{PacketSim, PacketSimConfig};
 
 fn main() {
-    println!("==================================================================");
-    println!("LiveNet reproduction — fast/slow path recovery (A→B→C, §3 & §5)");
-    println!("==================================================================");
+    let mut out = Report::new("fast/slow path recovery (A→B→C, §3 & §5)", "§3 & §5");
 
     let mut rows = Vec::new();
     for (loss_pct, bursty) in [
@@ -56,7 +54,7 @@ fn main() {
             ]);
         }
     }
-    print_table(
+    out.table(
         &[
             "A→B loss",
             "pipeline",
@@ -67,8 +65,9 @@ fn main() {
         ],
         &rows,
     );
-    println!();
-    println!("Expected shape: with the slow path, frames rendered stays near the");
-    println!("lossless count and recovery completes in ~(scan/2 + RTT) ≈ 45 ms;");
-    println!("without it, rendered frames fall and stalls appear as loss grows.");
+    out.note("");
+    out.note("Expected shape: with the slow path, frames rendered stays near the");
+    out.note("lossless count and recovery completes in ~(scan/2 + RTT) ≈ 45 ms;");
+    out.note("without it, rendered frames fall and stalls appear as loss grows.");
+    out.print();
 }

@@ -4,12 +4,11 @@
 //! `--scale`, `--seed`) and prints the table/figure with the paper's
 //! values alongside. To print EVERY figure from one run, use `exp_all`.
 
-use livenet_bench::{banner, cli_config, render, run};
+use livenet_bench::{cli_config, render, run, Report};
 
 fn main() {
-    #[allow(unused_mut)]
-    let mut cfg = cli_config();
-    let report = run(cfg);
-    banner("Figure 8(a): streaming delay CDF", "§6.3, Fig. 8(a)", &report);
-    render::fig08a(&report);
+    let report = run(cli_config());
+    let mut out = Report::fleet("Figure 8(a): streaming delay CDF", "§6.3, Fig. 8(a)", &report);
+    render::fig08a(&report, &mut out);
+    out.print();
 }

@@ -4,14 +4,14 @@
 //! `--scale`, `--seed`) and prints the table/figure with the paper's
 //! values alongside. To print EVERY figure from one run, use `exp_all`.
 
-use livenet_bench::{banner, cli_config, render, run};
+use livenet_bench::{cli_config, render, run, Report};
 
 fn main() {
-    #[allow(unused_mut)]
     let mut cfg = cli_config();
     cfg.workload.days = cfg.workload.days.min(7);
     cfg.workload.festival_days.retain(|d| *d < cfg.workload.days);
     let report = run(cfg);
-    banner("Figure 10(c): hourly first-packet delay", "§6.4, Fig. 10(c)", &report);
-    render::fig10c(&report);
+    let mut out = Report::fleet("Figure 10(c): hourly first-packet delay", "§6.4, Fig. 10(c)", &report);
+    render::fig10c(&report, &mut out);
+    out.print();
 }

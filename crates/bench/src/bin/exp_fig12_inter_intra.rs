@@ -4,12 +4,11 @@
 //! `--scale`, `--seed`) and prints the table/figure with the paper's
 //! values alongside. To print EVERY figure from one run, use `exp_all`.
 
-use livenet_bench::{banner, cli_config, render, run};
+use livenet_bench::{cli_config, render, run, Report};
 
 fn main() {
-    #[allow(unused_mut)]
-    let mut cfg = cli_config();
-    let report = run(cfg);
-    banner("Figure 12: intra vs inter-national delay", "§6.4, Fig. 12", &report);
-    render::fig12(&report);
+    let report = run(cli_config());
+    let mut out = Report::fleet("Figure 12: intra vs inter-national delay", "§6.4, Fig. 12", &report);
+    render::fig12(&report, &mut out);
+    out.print();
 }

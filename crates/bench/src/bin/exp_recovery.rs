@@ -22,7 +22,7 @@
 //!
 //! [`FleetReport::bit_identical`]: livenet_sim::FleetReport::bit_identical
 
-use livenet_bench::{print_table, SEED};
+use livenet_bench::{Report, SEED};
 use livenet_sim::recovery::{run_recovery, RecoveryMode, RecoveryScenario};
 use livenet_sim::{FleetConfigBuilder, FleetFault, FleetRunner, RecoveryRecord};
 
@@ -70,41 +70,40 @@ fn main() {
         i += 1;
     }
 
-    println!("==================================================================");
-    println!("LiveNet reproduction — failure recovery (§6.5)");
-    println!("==================================================================");
+    let mut out = Report::new("failure recovery (§6.5)", "§6.5");
 
     // ---------- Packet level: diamond-overlay relay crash ----------
+    out.heading("Packet level: diamond-overlay relay crash");
     let seeds = [SEED, SEED + 1, SEED + 2];
     let mut rows = Vec::new();
     let mut packet_json = Vec::new();
     for mode in [RecoveryMode::Fast, RecoveryMode::Slow] {
         for &seed in &seeds {
-            let out = run_recovery(&RecoveryScenario::new(mode, seed));
+            let rec = run_recovery(&RecoveryScenario::new(mode, seed));
             rows.push(vec![
                 format!("{mode:?}"),
                 format!("{seed}"),
-                format!("{:.0} ms", out.detect_ms),
-                format!("{:.0} ms", out.restore_ms),
-                format!("{:.0} ms", out.restore_ms - out.detect_ms),
-                format!("{}", out.frames_lost),
+                format!("{:.0} ms", rec.detect_ms),
+                format!("{:.0} ms", rec.restore_ms),
+                format!("{:.0} ms", rec.restore_ms - rec.detect_ms),
+                format!("{}", rec.frames_lost),
             ]);
             packet_json.push(format!(
                 "    {{\"mode\": \"{mode:?}\", \"seed\": {seed}, \"detect_ms\": {:.2}, \"restore_ms\": {:.2}, \"frames_lost\": {}}}",
-                out.detect_ms, out.restore_ms, out.frames_lost,
+                rec.detect_ms, rec.restore_ms, rec.frames_lost,
             ));
         }
     }
-    print_table(
+    out.table(
         &["mode", "seed", "detect", "restore", "post-detect gap", "frames lost"],
         &rows,
     );
-    println!();
-    println!("Expected shape: Fast restores ~1 subscribe RTT after detection;");
-    println!("Slow waits out the Brain round trip (multi-second).");
-    println!();
+    out.note("");
+    out.note("Expected shape: Fast restores ~1 subscribe RTT after detection;");
+    out.note("Slow waits out the Brain round trip (multi-second).");
 
     // ---------- Fleet level: region outage over the sharded fleet ----------
+    out.heading("Fleet level: region outage over the sharded fleet");
     let cfg = FleetConfigBuilder::smoke(SEED)
         .fault(FleetFault::RegionOutage {
             at_secs: 20 * 3600, // diurnal peak — many sessions in flight
@@ -128,19 +127,19 @@ fn main() {
     let ln_slow: Vec<&RecoveryRecord> =
         report.recoveries_livenet.iter().filter(|r| !r.fast).collect();
     let hier: Vec<&RecoveryRecord> = report.recoveries_hier.iter().collect();
-    println!(
+    out.note(format!(
         "fleet: {} faults injected, {} producers rehomed",
         report.faults_injected, report.producers_rehomed
-    );
-    println!(
+    ));
+    out.note(format!(
         "LiveNet failovers: {} fast / {} slow; Hier failovers: {}",
         ln_fast.len(),
         ln_slow.len(),
         hier.len()
-    );
-    println!("LiveNet fast: {}", dist_json(&ln_fast));
-    println!("LiveNet slow: {}", dist_json(&ln_slow));
-    println!("Hier:         {}", dist_json(&hier));
+    ));
+    out.note(format!("LiveNet fast: {}", dist_json(&ln_fast)));
+    out.note(format!("LiveNet slow: {}", dist_json(&ln_slow)));
+    out.note(format!("Hier:         {}", dist_json(&hier)));
 
     let json = format!(
         "{{\n  \"experiment\": \"recovery\",\n  \"seed\": {SEED},\n  \"shards\": {shards},\n  \"packet_level\": [\n{}\n  ],\n  \"fleet\": {{\n    \"faults_injected\": {},\n    \"producers_rehomed\": {},\n    \"livenet_fast\": {},\n    \"livenet_slow\": {},\n    \"hier\": {}\n  }}\n}}\n",
@@ -152,5 +151,6 @@ fn main() {
         dist_json(&hier),
     );
     std::fs::write("BENCH_recovery.json", &json).expect("write BENCH_recovery.json");
-    println!("wrote BENCH_recovery.json");
+    out.note("wrote BENCH_recovery.json");
+    out.print();
 }

@@ -10,6 +10,9 @@
 #![warn(missing_docs)]
 
 pub mod render;
+pub mod report;
+
+pub use report::Report;
 
 use livenet_sim::{
     FleetConfig, FleetConfigBuilder, FleetReport, FleetRunner, FleetSim, SessionRecord,
@@ -86,16 +89,10 @@ pub fn run_sharded(cfg: FleetConfig, threads: usize) -> FleetReport {
 }
 
 /// Print a header shared by all experiment binaries.
+#[deprecated(since = "0.1.0", note = "build a `Report` with `Report::fleet` instead")]
+#[allow(clippy::print_stdout)]
 pub fn banner(exp: &str, paper_ref: &str, report: &FleetReport) {
-    println!("==================================================================");
-    println!("LiveNet reproduction — {exp}");
-    println!("Paper reference: {paper_ref}");
-    println!(
-        "Sessions: {} (per system) over {} days",
-        report.livenet.len(),
-        report.daily_peak_throughput.len()
-    );
-    println!("==================================================================");
+    Report::fleet(exp, paper_ref, report).print();
 }
 
 /// Median of a session metric.
@@ -116,30 +113,16 @@ pub fn ratio_pct(sessions: &[SessionRecord], f: impl Fn(&SessionRecord) -> bool)
 }
 
 /// Render a simple aligned table.
+#[deprecated(since = "0.1.0", note = "use `Report::table` instead")]
+#[allow(clippy::print_stdout)]
 pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
-    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
-    for row in rows {
-        for (i, cell) in row.iter().enumerate() {
-            if i < widths.len() {
-                widths[i] = widths[i].max(cell.len());
-            }
-        }
-    }
-    let line = |cells: Vec<String>| {
-        let mut s = String::new();
-        for (i, c) in cells.iter().enumerate() {
-            s.push_str(&format!("{:<w$}  ", c, w = widths[i]));
-        }
-        println!("{}", s.trim_end());
-    };
-    line(headers.iter().map(|s| s.to_string()).collect());
-    line(widths.iter().map(|w| "-".repeat(*w)).collect());
-    for row in rows {
-        line(row.clone());
-    }
+    let headers: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    print!("{}", report::render_table(&headers, rows));
 }
 
 /// An ASCII sparkline-style series printer for figure reproductions.
+#[deprecated(since = "0.1.0", note = "use `Report::table` with a bar column instead")]
+#[allow(clippy::print_stdout)]
 pub fn print_series(label: &str, xs: &[String], ys: &[f64], unit: &str) {
     println!("{label} ({unit}):");
     for (x, y) in xs.iter().zip(ys) {
@@ -168,9 +151,7 @@ mod tests {
             first_packet_ms: 50.0,
             startup_ms: if fast { 500.0 } else { 1500.0 },
             stalls: 0,
-            local_hit: false,
-            last_resort: false,
-            brain_response_ms: None,
+            outcome: livenet_sim::DecisionOutcome::Prefetched,
         }
     }
 

@@ -1,10 +1,12 @@
 //! Table/figure renderers over a [`FleetReport`].
 //!
-//! Each function prints one of the paper's tables or figures (with the
-//! paper's values alongside). The `exp_*` binaries call one renderer each;
-//! `exp_all` runs the 20-day fleet once and calls all of them.
+//! Each function appends one of the paper's tables or figures (with the
+//! paper's values alongside) to a [`Report`]. The `exp_*` binaries build a
+//! report from one renderer each and print it; `exp_all` runs the 20-day
+//! fleet once and chains all of them. Keeping renderers print-free is what
+//! lets the bench library deny `clippy::print_stdout`.
 
-use crate::{median, print_table, ratio_pct};
+use crate::{median, ratio_pct, Report};
 use livenet_sim::{FleetReport, SessionRecord};
 use livenet_types::{welch_t, Ecdf, OnlineStats};
 
@@ -15,7 +17,7 @@ pub fn first_days(sessions: &[SessionRecord], days: u32) -> Vec<SessionRecord> {
 }
 
 /// Table 1 — overall performance comparison.
-pub fn table1(report: &FleetReport) {
+pub fn table1(report: &FleetReport, out: &mut Report) {
     let ln = &report.livenet;
     let h = &report.hier;
     let rows = [(
@@ -61,7 +63,7 @@ pub fn table1(report: &FleetReport) {
             ]
         })
         .collect();
-    print_table(
+    out.table(
         &["Metric", "LiveNet", "Hier", "impr.", "paper (LN/Hier)"],
         &table,
     );
@@ -74,19 +76,18 @@ pub fn table1(report: &FleetReport) {
         b.push(f64::from(s.cdn_delay_ms));
     }
     let (t, significant) = welch_t(&b, &a);
-    println!();
-    println!(
+    out.note(format!(
         "Welch t (Hier − LiveNet CDN delay): t = {t:.1}, p < 0.001: {}",
         if significant { "yes" } else { "no" }
-    );
-    println!(
+    ));
+    out.note(format!(
         "Last-resort sessions: {:.2}% (paper: ~2%)",
-        ratio_pct(ln, |s| s.last_resort)
-    );
+        ratio_pct(ln, |s| s.outcome.is_last_resort())
+    ));
 }
 
 /// Figure 2 — daily CDN path delay for both systems (first week).
-pub fn fig02(report: &FleetReport) {
+pub fn fig02(report: &FleetReport, out: &mut Report) {
     let ln = first_days(&report.livenet, 7);
     let h = first_days(&report.hier, 7);
     let days = ln.iter().map(|s| s.day).max().unwrap_or(0);
@@ -106,12 +107,12 @@ pub fn fig02(report: &FleetReport) {
             format!("{:.0}", he.median()),
         ]);
     }
-    print_table(&["Day", "LiveNet (ms)", "Hier (ms)"], &rows);
-    println!("Paper: LiveNet 150–250 ms, Hier ≈ 390–420 ms across the week.");
+    out.table(&["Day", "LiveNet (ms)", "Hier (ms)"], &rows);
+    out.note("Paper: LiveNet 150–250 ms, Hier ≈ 390–420 ms across the week.");
 }
 
 /// Figure 8(a) — streaming-delay CDF + paired improvements.
-pub fn fig08a(report: &FleetReport) {
+pub fn fig08a(report: &FleetReport, out: &mut Report) {
     let mut ln = Ecdf::new();
     let mut h = Ecdf::new();
     for s in &report.livenet {
@@ -131,16 +132,16 @@ pub fn fig08a(report: &FleetReport) {
             ]
         })
         .collect();
-    print_table(&["delay (ms)", "LiveNet CDF", "Hier CDF"], &rows);
+    out.table(&["delay (ms)", "LiveNet CDF", "Hier CDF"], &rows);
     let mut deltas = Ecdf::new();
     for (a, b) in report.livenet.iter().zip(&report.hier) {
         deltas.push(f64::from(b.streaming_delay_ms - a.streaming_delay_ms));
     }
-    println!(
+    out.note(format!(
         "Views improved ≥200 ms: {:.1}% (paper: 60%) | ≥100 ms: {:.1}% (paper: 80%)",
         100.0 * (1.0 - deltas.cdf_at(200.0)),
         100.0 * (1.0 - deltas.cdf_at(100.0)),
-    );
+    ));
 }
 
 fn stall_histogram(sessions: &[SessionRecord]) -> [f64; 6] {
@@ -157,7 +158,7 @@ fn stall_histogram(sessions: &[SessionRecord]) -> [f64; 6] {
 }
 
 /// Figure 8(b) — stall-count distribution.
-pub fn fig08b(report: &FleetReport) {
+pub fn fig08b(report: &FleetReport, out: &mut Report) {
     let ln = stall_histogram(&report.livenet);
     let h = stall_histogram(&report.hier);
     let rows: Vec<Vec<String>> = (1..=5)
@@ -169,19 +170,19 @@ pub fn fig08b(report: &FleetReport) {
             ]
         })
         .collect();
-    print_table(&["stalls/view", "LiveNet", "Hier"], &rows);
+    out.table(&["stalls/view", "LiveNet", "Hier"], &rows);
     let ln_any = 100.0 - ln[0];
     let h_any = 100.0 - h[0];
-    println!(
+    out.note(format!(
         "≥1 stall: LiveNet {ln_any:.2}% (paper 2%), Hier {h_any:.2}% (paper 5%); \
          exactly-1 among stalled: {:.0}% (paper ~60%); 5+ ratio {:.1}x (paper ~2x)",
         100.0 * ln[1] / ln_any.max(1e-9),
         h[5] / ln[5].max(1e-9),
-    );
+    ));
 }
 
 /// Figure 8(c) — daily fast-startup ratio.
-pub fn fig08c(report: &FleetReport) {
+pub fn fig08c(report: &FleetReport, out: &mut Report) {
     let days = report.livenet.iter().map(|s| s.day).max().unwrap_or(0);
     let per_day = |sessions: &[SessionRecord], day: u32| {
         let subset: Vec<SessionRecord> =
@@ -201,17 +202,17 @@ pub fn fig08c(report: &FleetReport) {
             format!("{h:.1}%"),
         ]);
     }
-    print_table(&["Day", "LiveNet", "Hier"], &rows);
+    out.table(&["Day", "LiveNet", "Hier"], &rows);
     let n = f64::from(days + 1);
-    println!(
+    out.note(format!(
         "Average: LiveNet {:.1}% vs Hier {:.1}% (paper: 95% vs 92%)",
         ls / n,
         hs / n
-    );
+    ));
 }
 
 /// Figure 9 — fast startup vs streaming-delay bucket.
-pub fn fig09(report: &FleetReport) {
+pub fn fig09(report: &FleetReport, out: &mut Report) {
     let buckets: [(f64, f64, &str); 5] = [
         (0.0, 500.0, "(0, 500]"),
         (500.0, 700.0, "(500, 700]"),
@@ -240,16 +241,16 @@ pub fn fig09(report: &FleetReport) {
             format!("{pct:.1}%"),
         ]);
     }
-    print_table(&["streaming delay (ms)", "views", "fast startup"], &rows);
-    println!("Paper: ≈95% even at 1–1.5 s; ≥87% above 1.5 s (the GoP-cache effect).");
+    out.table(&["streaming delay (ms)", "views", "fast startup"], &rows);
+    out.note("Paper: ≈95% even at 1–1.5 s; ≥87% above 1.5 s (the GoP-cache effect).");
 }
 
 /// Figure 10(a) — Brain response time per hour of day.
-pub fn fig10a(report: &FleetReport) {
+pub fn fig10a(report: &FleetReport, out: &mut Report) {
     let mut per_hour: Vec<Ecdf> = (0..24).map(|_| Ecdf::new()).collect();
     let mut all = Ecdf::new();
     for s in &report.livenet {
-        if let Some(ms) = s.brain_response_ms {
+        if let Some(ms) = s.outcome.response_ms() {
             per_hour[s.hour as usize].push(f64::from(ms));
             all.push(f64::from(ms));
         }
@@ -269,22 +270,22 @@ pub fn fig10a(report: &FleetReport) {
             }
         })
         .collect();
-    print_table(&["hour", "p25 (ms)", "median (ms)", "p75 (ms)"], &rows);
-    println!(
+    out.table(&["hour", "p25 (ms)", "median (ms)", "p75 (ms)"], &rows);
+    out.note(format!(
         "Overall: p25 {:.1} ms, median {:.1} ms (paper: ~5 ms / ~30 ms)",
         all.quantile(0.25),
         all.median()
-    );
+    ));
 }
 
 /// Figure 10(b) — local hit ratio by hour of day (first week).
-pub fn fig10b(report: &FleetReport) {
+pub fn fig10b(report: &FleetReport, out: &mut Report) {
     let week = first_days(&report.livenet, 7);
     let mut hits = [0u64; 24];
     let mut total = [0u64; 24];
     for s in &week {
         total[s.hour as usize] += 1;
-        hits[s.hour as usize] += u64::from(s.local_hit);
+        hits[s.hour as usize] += u64::from(s.outcome.is_local_hit());
     }
     let rows: Vec<Vec<String>> = (0..24)
         .map(|h| {
@@ -293,7 +294,7 @@ pub fn fig10b(report: &FleetReport) {
             vec![format!("{h:02}:00"), format!("{pct:.1}%"), bar]
         })
         .collect();
-    print_table(&["hour", "hit ratio", ""], &rows);
+    out.table(&["hour", "hit ratio", ""], &rows);
     let peak: f64 = (20..23)
         .map(|h| 100.0 * hits[h] as f64 / total[h].max(1) as f64)
         .sum::<f64>()
@@ -302,11 +303,13 @@ pub fn fig10b(report: &FleetReport) {
         .map(|h| 100.0 * hits[h] as f64 / total[h].max(1) as f64)
         .sum::<f64>()
         / 3.0;
-    println!("Peak (20–23h): {peak:.1}% (paper ≈70%) | trough (3–6h): {trough:.1}% (paper ≈40–50%)");
+    out.note(format!(
+        "Peak (20–23h): {peak:.1}% (paper ≈70%) | trough (3–6h): {trough:.1}% (paper ≈40–50%)"
+    ));
 }
 
 /// Figure 10(c) — hourly mean first-packet delay (first week).
-pub fn fig10c(report: &FleetReport) {
+pub fn fig10c(report: &FleetReport, out: &mut Report) {
     let week = first_days(&report.livenet, 7);
     let mut sum = [0.0f64; 24];
     let mut n = [0u64; 24];
@@ -321,10 +324,13 @@ pub fn fig10c(report: &FleetReport) {
             vec![format!("{h:02}:00"), format!("{mean:.0} ms"), bar]
         })
         .collect();
-    print_table(&["hour", "first-packet", ""], &rows);
+    out.table(&["hour", "first-packet", ""], &rows);
     let peak = (20..23).map(|h| sum[h] / n[h].max(1) as f64).sum::<f64>() / 3.0;
     let trough = (3..6).map(|h| sum[h] / n[h].max(1) as f64).sum::<f64>() / 3.0;
-    println!("Evening (20–23h): {peak:.0} ms (paper ≈70) | 3–6h: {trough:.0} ms (paper: the only >100 ms period)");
+    out.note(format!(
+        "Evening (20–23h): {peak:.0} ms (paper ≈70) | 3–6h: {trough:.0} ms \
+         (paper: the only >100 ms period)"
+    ));
 }
 
 fn length_dist(sessions: impl Iterator<Item = SessionRecord>) -> [f64; 4] {
@@ -342,7 +348,7 @@ fn length_dist(sessions: impl Iterator<Item = SessionRecord>) -> [f64; 4] {
 }
 
 /// Table 2 — path-length distribution.
-pub fn table2(report: &FleetReport) {
+pub fn table2(report: &FleetReport, out: &mut Report) {
     let all = length_dist(report.livenet.iter().copied());
     let inter = length_dist(report.livenet.iter().filter(|s| s.international).copied());
     let intra = length_dist(report.livenet.iter().filter(|s| !s.international).copied());
@@ -355,12 +361,14 @@ pub fn table2(report: &FleetReport) {
         row.extend(fmt(d));
         rows.push(row);
     }
-    print_table(&["", "0", "1", "2", "≥3"], &rows);
-    println!("Paper: All 0.13/7.00/92.06/0.81 | inter ~0/~0/73.83/26.16 | intra 0.13/7.16/92.48/0.23");
+    out.table(&["", "0", "1", "2", "≥3"], &rows);
+    out.note(
+        "Paper: All 0.13/7.00/92.06/0.81 | inter ~0/~0/73.83/26.16 | intra 0.13/7.16/92.48/0.23",
+    );
 }
 
 /// Figure 11 — delay percentiles per path length (+ Hier len=4).
-pub fn fig11(report: &FleetReport) {
+pub fn fig11(report: &FleetReport, out: &mut Report) {
     let mut boxes: Vec<(String, Ecdf, usize)> = vec![
         ("len=0".into(), Ecdf::new(), 0),
         ("len=1".into(), Ecdf::new(), 0),
@@ -401,12 +409,12 @@ pub fn fig11(report: &FleetReport) {
         format!("{:.0}", hb.p75),
         format!("{:.0}", hb.p80),
     ]);
-    print_table(&["path length", "p20", "p25", "p50", "p75", "p80"], &rows);
-    println!("Paper shape: delay grows with hops; Hier's fixed len-4 sits far above.");
+    out.table(&["path length", "p20", "p25", "p50", "p75", "p80"], &rows);
+    out.note("Paper shape: delay grows with hops; Hier's fixed len-4 sits far above.");
 }
 
 /// Figure 12 — intra vs inter-national delay boxes.
-pub fn fig12(report: &FleetReport) {
+pub fn fig12(report: &FleetReport, out: &mut Report) {
     let box_of = |sessions: &[SessionRecord], international: bool| {
         let mut e = Ecdf::new();
         for s in sessions.iter().filter(|s| s.international == international) {
@@ -436,12 +444,12 @@ pub fn fig12(report: &FleetReport) {
             ]);
         }
     }
-    print_table(&["case", "p20", "p25", "p50 (ms)", "p75", "p80"], &rows);
-    println!("Paper medians: LiveNet <200 / 330 ms; Hier 400 / 450 ms.");
+    out.table(&["case", "p20", "p25", "p50 (ms)", "p75", "p80"], &rows);
+    out.note("Paper medians: LiveNet <200 / 330 ms; Hier 400 / 450 ms.");
 }
 
 /// Figure 13 — diurnal loss profile (first week's hours).
-pub fn fig13(report: &FleetReport) {
+pub fn fig13(report: &FleetReport, out: &mut Report) {
     let mut sum = [0.0f64; 24];
     let mut n = [0u64; 24];
     for (i, &l) in report.hourly_loss.iter().enumerate().take(7 * 24) {
@@ -459,12 +467,14 @@ pub fn fig13(report: &FleetReport) {
             vec![format!("{h:02}:00"), format!("{pct:.4}%"), bar]
         })
         .collect();
-    print_table(&["hour", "avg loss", ""], &rows);
-    println!("Peak loss: {max_pct:.4}% (paper: <0.175%, <0.1% most of the time)");
+    out.table(&["hour", "avg loss", ""], &rows);
+    out.note(format!(
+        "Peak loss: {max_pct:.4}% (paper: <0.175%, <0.1% most of the time)"
+    ));
 }
 
 /// Figure 14 — normalized daily peak throughput.
-pub fn fig14(report: &FleetReport) {
+pub fn fig14(report: &FleetReport, out: &mut Report) {
     let max = report
         .daily_peak_throughput
         .iter()
@@ -481,7 +491,7 @@ pub fn fig14(report: &FleetReport) {
             vec![format!("Dec {}", day + 1), format!("{norm:.2}"), bar]
         })
         .collect();
-    print_table(&["day", "norm. peak", ""], &rows);
+    out.table(&["day", "norm. peak", ""], &rows);
     let t = &report.daily_peak_throughput;
     if t.len() >= 13 {
         let festival = (t[10] + t[11]) / 2.0;
@@ -492,15 +502,15 @@ pub fn fig14(report: &FleetReport) {
             .map(|(_, v)| v)
             .sum::<f64>()
             / (t.len() - 2) as f64;
-        println!(
+        out.note(format!(
             "Festival/regular peak ratio: {:.2}x (paper: ~2x)",
             festival / regular.max(1.0)
-        );
+        ));
     }
 }
 
 /// Table 3 — the Double-12 festival days.
-pub fn table3(report: &FleetReport) {
+pub fn table3(report: &FleetReport, out: &mut Report) {
     let group = |days: &[u32]| -> Vec<SessionRecord> {
         report
             .livenet
@@ -553,15 +563,54 @@ pub fn table3(report: &FleetReport) {
             row
         })
         .collect();
-    print_table(&["Metric", "Dec 10", "Dec 11-12", "Dec 13", "paper"], &rows);
+    out.table(&["Metric", "Dec 10", "Dec 11-12", "Dec 13", "paper"], &rows);
     let u = &report.daily_unique_paths;
     if u.len() >= 13 {
         let festival = (u[10] + u[11]) as f64 / 2.0;
         let around = (u[9] + u[12]) as f64 / 2.0;
-        println!(
+        out.note(format!(
             "Unique overlay paths: festival {festival:.0}/day vs neighbors {around:.0}/day \
              (+{:.0}%; paper: +20%)",
             100.0 * (festival / around.max(1.0) - 1.0)
-        );
+        ));
     }
+}
+
+/// Telemetry appendix — render the fleet's merged metric snapshot as a
+/// per-stage latency attribution table plus the counter set (the
+/// `BENCH_observe.json` content, human-readable).
+pub fn telemetry(report: &FleetReport, out: &mut Report) {
+    let snap = &report.telemetry;
+    let mut rows = Vec::new();
+    for (name, h) in &snap.hists {
+        rows.push(vec![
+            name.clone(),
+            format!("{}", h.count),
+            h.mean().map_or("-".into(), |v| format!("{v:.1}")),
+            h.approx_quantile(0.5).map_or("-".into(), |v| format!("{v:.1}")),
+            h.approx_quantile(0.9).map_or("-".into(), |v| format!("{v:.1}")),
+            h.approx_quantile(0.99).map_or("-".into(), |v| format!("{v:.1}")),
+            h.max().map_or("-".into(), |v| format!("{v:.1}")),
+        ]);
+    }
+    out.table(
+        &["histogram", "n", "mean", "~p50", "~p90", "~p99", "max"],
+        &rows,
+    );
+    let counter_rows: Vec<Vec<String>> = snap
+        .counters
+        .iter()
+        .map(|(name, v)| vec![name.clone(), format!("{v}")])
+        .collect();
+    out.table(&["counter", "value"], &counter_rows);
+    let gauge_rows: Vec<Vec<String>> = snap
+        .gauges
+        .iter()
+        .map(|(name, v)| vec![name.clone(), format!("{v:.1}")])
+        .collect();
+    out.table(&["gauge", "value"], &gauge_rows);
+    out.note(
+        "Quantiles are upper bucket bounds of the fixed-bucket histograms \
+         (exact merge across shards; see DESIGN.md §9).",
+    );
 }

@@ -9,6 +9,7 @@
 use crate::decision::{PathAssignment, PathDecision};
 use crate::discovery::{GlobalDiscovery, OverloadAlarm};
 use crate::routing::{GlobalRouting, RoutingConfig};
+use livenet_telemetry::{ids, MetricSink};
 use livenet_topology::{NodeReport, Topology};
 use livenet_types::{NodeId, Result, SimDuration, SimTime, StreamId};
 use std::collections::BTreeSet;
@@ -31,6 +32,14 @@ pub struct StreamingBrain {
     last_recompute: Option<SimTime>,
     /// Completed recompute rounds (telemetry).
     pub recompute_rounds: u64,
+    /// Producer rehome operations performed (telemetry, §7.1).
+    pub rehomes: u64,
+    /// KSP path entries computed across all recompute rounds (work proxy).
+    pub ksp_paths_computed: u64,
+    /// Node-failed notifications processed.
+    pub nodes_failed: u64,
+    /// Node-recovered notifications processed.
+    pub nodes_recovered: u64,
 }
 
 impl StreamingBrain {
@@ -45,6 +54,10 @@ impl StreamingBrain {
             popular: BTreeSet::new(),
             last_recompute: None,
             recompute_rounds: 0,
+            rehomes: 0,
+            ksp_paths_computed: 0,
+            nodes_failed: 0,
+            nodes_recovered: 0,
         };
         brain.force_recompute(SimTime::ZERO);
         brain
@@ -95,6 +108,20 @@ impl StreamingBrain {
         &self.discovery
     }
 
+    /// Export the Brain's lifetime counters — the Path Decision log
+    /// analogue (§6.1) — into a metric sink.  Counters are cumulative
+    /// totals, so record into a sink that has not seen this brain before
+    /// (e.g. a per-run [`livenet_telemetry::TelemetryHub`]).
+    pub fn record_telemetry(&self, sink: &mut impl MetricSink) {
+        sink.add(ids::BRAIN_RECOMPUTE_ROUNDS, self.recompute_rounds);
+        sink.add(ids::BRAIN_KSP_PATHS, self.ksp_paths_computed);
+        sink.add(ids::BRAIN_REHOMES, self.rehomes);
+        sink.add(ids::BRAIN_NODE_FAILED, self.nodes_failed);
+        sink.add(ids::BRAIN_NODE_RECOVERED, self.nodes_recovered);
+        sink.add(ids::BRAIN_REQUESTS, self.decision.requests_served);
+        sink.add(ids::BRAIN_LAST_RESORT, self.decision.last_resort_served);
+    }
+
     /// Absorb one node report: updates the view and the working topology,
     /// and handles any implied overload alarms (PIB invalidation).
     pub fn absorb_report(&mut self, report: &NodeReport) -> Vec<OverloadAlarm> {
@@ -127,6 +154,7 @@ impl StreamingBrain {
     /// Unconditionally recompute the PIB from the current topology.
     pub fn force_recompute(&mut self, now: SimTime) {
         let entries = self.routing.compute_all(&self.topology, now);
+        self.ksp_paths_computed += entries.values().map(|v| v.len() as u64).sum::<u64>();
         self.decision.pib.replace_all(entries);
         self.last_recompute = Some(now);
         self.recompute_rounds += 1;
@@ -154,6 +182,7 @@ impl StreamingBrain {
             .producer_of(stream)
             .ok_or_else(|| livenet_types::Error::not_found(format!("stream {stream}")))?;
         self.decision.sib.register(stream, new_producer);
+        self.rehomes += 1;
         // Path from the NEW producer to the OLD one (the old producer acts
         // as a consumer of the re-homed stream).
         self.path_request(stream, old, now)
@@ -169,11 +198,13 @@ impl StreamingBrain {
     /// A node was observed dead (missed reports / operator signal): mark
     /// it down and rebuild the PIB around it.
     pub fn node_failed(&mut self, node: NodeId) {
+        self.nodes_failed += 1;
         self.update_topology(|t| t.set_node_up(node, false));
     }
 
     /// A failed node came back; paths may use it again.
     pub fn node_recovered(&mut self, node: NodeId) {
+        self.nodes_recovered += 1;
         self.update_topology(|t| t.set_node_up(node, true));
     }
 
@@ -299,6 +330,29 @@ mod tests {
         let g = GeoTopology::generate(&GeoConfig::tiny(seed));
         let nodes: Vec<NodeId> = g.topology.routable_node_ids().collect();
         (StreamingBrain::new(g.topology, BrainConfig::default()), nodes)
+    }
+
+    #[test]
+    fn record_telemetry_exports_lifetime_counters() {
+        let (mut b, nodes) = brain(6);
+        let s = StreamId::new(1);
+        b.register_stream(s, nodes[0]);
+        b.path_request(s, nodes[1], SimTime::ZERO).unwrap();
+        b.rehome_producer(s, nodes[2], SimTime::ZERO).unwrap();
+        b.node_failed(nodes[3]);
+        b.node_recovered(nodes[3]);
+        let mut hub = livenet_telemetry::TelemetryHub::new();
+        b.record_telemetry(&mut hub);
+        let snap = hub.snapshot();
+        assert_eq!(snap.counter("brain.recompute_rounds"), b.recompute_rounds);
+        assert_eq!(snap.counter("brain.rehomes"), 1);
+        assert_eq!(snap.counter("brain.node_failed"), 1);
+        assert_eq!(snap.counter("brain.node_recovered"), 1);
+        assert_eq!(
+            snap.counter("brain.requests_served"),
+            b.decision().requests_served
+        );
+        assert!(snap.counter("brain.ksp_paths_computed") > 0);
     }
 
     #[test]

@@ -4,8 +4,12 @@ use crate::fault::{FaultKind, FaultPlan};
 use crate::link::{LinkConfig, LinkState, LinkStats, SendOutcome};
 use crate::queue::EventQueue;
 use bytes::Bytes;
+use livenet_telemetry::{ids, MetricSink, Snapshot, TelemetryHub, QUEUE_DEPTH_BOUNDS};
 use livenet_types::{DetRng, NodeId, SimDuration, SimTime};
 use std::collections::{BTreeSet, HashMap};
+
+/// Nominal packet size used to express link backlog as a queue depth.
+const MTU_BYTES: u64 = 1500;
 
 /// An opaque timer key chosen by the host; redelivered on expiry.
 pub type TimerKey = u64;
@@ -115,6 +119,8 @@ pub struct NetSim<H: Host> {
     pub no_route_drops: u64,
     /// Count of datagrams blackholed at a crashed host.
     pub fault_drops: u64,
+    /// Event-loop telemetry: send outcomes, queue depth, fault episodes.
+    telemetry: TelemetryHub,
 }
 
 impl<H: Host> NetSim<H> {
@@ -130,7 +136,19 @@ impl<H: Host> NetSim<H> {
             epochs: HashMap::new(),
             no_route_drops: 0,
             fault_drops: 0,
+            telemetry: TelemetryHub::new(),
         }
+    }
+
+    /// The emulator's telemetry hub (the consumer-node-log analogue:
+    /// per-link send outcomes, queue depth and fault episodes).
+    pub fn telemetry(&self) -> &TelemetryHub {
+        &self.telemetry
+    }
+
+    /// Freeze current telemetry into a canonical [`Snapshot`].
+    pub fn telemetry_snapshot(&self) -> Snapshot {
+        self.telemetry.snapshot()
     }
 
     /// Register a host.
@@ -269,18 +287,30 @@ impl<H: Host> NetSim<H> {
                 Action::Send { to, payload } => {
                     let Some(link) = self.links.get_mut(&(from, to)) else {
                         self.no_route_drops += 1;
+                        self.telemetry.incr(ids::EMU_NO_ROUTE);
                         continue;
                     };
+                    let backlog_pkts = link
+                        .config
+                        .bandwidth
+                        .bytes_in(link.busy_until.saturating_since(now))
+                        / MTU_BYTES;
+                    self.telemetry.observe_with(
+                        ids::EMU_QUEUE_DEPTH,
+                        QUEUE_DEPTH_BOUNDS,
+                        backlog_pkts as f64,
+                    );
                     match link.send(now, payload.len(), &mut self.rng) {
                         SendOutcome::Deliver { arrive_at } => {
+                            self.telemetry.incr(ids::EMU_DELIVERED);
                             self.queue.schedule(
                                 arrive_at,
                                 Event::Arrival(Datagram { from, to, payload }),
                             );
                         }
-                        SendOutcome::LostRandom
-                        | SendOutcome::LostQueue
-                        | SendOutcome::LostDown => {}
+                        SendOutcome::LostRandom => self.telemetry.incr(ids::EMU_LOST_RANDOM),
+                        SendOutcome::LostQueue => self.telemetry.incr(ids::EMU_LOST_QUEUE),
+                        SendOutcome::LostDown => self.telemetry.incr(ids::EMU_LOST_DOWN),
                     }
                 }
                 Action::SetTimer { at, key } => {
@@ -319,6 +349,7 @@ impl<H: Host> NetSim<H> {
             Event::Arrival(d) => {
                 if self.down.contains(&d.to) {
                     self.fault_drops += 1;
+                    self.telemetry.incr(ids::EMU_FAULT_DROPS);
                     return; // blackholed at the crashed host
                 }
                 (
@@ -354,6 +385,7 @@ impl<H: Host> NetSim<H> {
         match kind {
             FaultKind::NodeCrash { node } => {
                 if self.hosts.contains_key(&node) && self.down.insert(node) {
+                    self.telemetry.incr(ids::EMU_FAULT_NODE_CRASH);
                     *self.epochs.entry(node).or_insert(0) += 1;
                     if let Some(h) = self.hosts.get_mut(&node) {
                         h.on_crash();
@@ -362,6 +394,7 @@ impl<H: Host> NetSim<H> {
             }
             FaultKind::NodeRestart { node } => {
                 if self.down.remove(&node) {
+                    self.telemetry.incr(ids::EMU_FAULT_NODE_RESTART);
                     let mut ctx = Ctx {
                         now,
                         actions: Vec::new(),
@@ -375,11 +408,13 @@ impl<H: Host> NetSim<H> {
             FaultKind::LinkDown { from, to } => {
                 if let Some(l) = self.links.get_mut(&(from, to)) {
                     l.up = false;
+                    self.telemetry.incr(ids::EMU_FAULT_LINK_DOWN);
                 }
             }
             FaultKind::LinkUp { from, to } => {
                 if let Some(l) = self.links.get_mut(&(from, to)) {
                     l.up = true;
+                    self.telemetry.incr(ids::EMU_FAULT_LINK_UP);
                 }
             }
             FaultKind::LossBurst { from, to, loss } => {
@@ -388,6 +423,7 @@ impl<H: Host> NetSim<H> {
                         l.burst_base = Some(l.config.loss);
                     }
                     l.config.loss = crate::link::LossModel::Bernoulli { p: loss };
+                    self.telemetry.incr(ids::EMU_FAULT_LOSS_BURST);
                 }
             }
             FaultKind::LossBurstEnd { from, to } => {
@@ -667,6 +703,35 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn telemetry_mirrors_link_and_fault_counters() {
+        let a = NodeId::new(1);
+        let b = NodeId::new(2);
+        let mut sim = NetSim::new(5);
+        sim.add_host(a, Echo::default());
+        sim.add_host(b, Echo::default());
+        let mut cfg = link();
+        cfg.loss = crate::link::LossModel::Bernoulli { p: 0.5 };
+        sim.add_duplex(a, b, cfg);
+        sim.schedule_fault(SimTime::from_millis(500), FaultKind::NodeCrash { node: b });
+        sim.schedule_fault(SimTime::from_millis(600), FaultKind::NodeRestart { node: b });
+        for _ in 0..100 {
+            sim.with_host(a, |_, ctx| ctx.send(b, Bytes::from_static(b"d")));
+        }
+        sim.with_host(a, |_, ctx| ctx.send(NodeId::new(99), Bytes::from_static(b"x")));
+        sim.run_until(SimTime::from_secs(1));
+        let snap = sim.telemetry_snapshot();
+        let stats = sim.link_stats(a, b).unwrap();
+        assert_eq!(snap.counter("emu.delivered"), stats.delivered);
+        assert_eq!(snap.counter("emu.lost_random"), stats.lost_random);
+        assert_eq!(snap.counter("emu.no_route_drops"), sim.no_route_drops);
+        assert_eq!(snap.counter("emu.fault.node_crash"), 1);
+        assert_eq!(snap.counter("emu.fault.node_restart"), 1);
+        // The no-route send never reached a link, so only the 100 link
+        // offers produced queue-depth observations.
+        assert_eq!(snap.hist("emu.queue_depth_pkts").unwrap().count, 100);
     }
 
     #[test]

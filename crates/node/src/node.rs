@@ -274,6 +274,25 @@ pub struct NodeStats {
     pub upstream_failovers: u64,
 }
 
+impl NodeStats {
+    /// Export these counters — the consumer-node log analogue (§6.1) —
+    /// into a metric sink.  Values are cumulative totals, so record into a
+    /// sink that has not seen this node before (e.g. a per-run hub), or
+    /// diff externally.
+    pub fn record_into(&self, sink: &mut impl livenet_telemetry::MetricSink) {
+        use livenet_telemetry::ids;
+        sink.add(ids::NODE_FORWARDED, self.forwarded);
+        sink.add(ids::NODE_INGESTED, self.ingested);
+        sink.add(ids::NODE_RTX_SERVED, self.rtx_served);
+        sink.add(ids::NODE_RTX_UNAVAILABLE, self.rtx_unavailable);
+        sink.add(ids::NODE_NACKS_SENT, self.nacks_sent);
+        sink.add(ids::NODE_DUPLICATES, self.duplicates);
+        sink.add(ids::NODE_SUBS_RECEIVED, self.subs_received);
+        sink.add(ids::NODE_LOCAL_HITS, self.local_hits);
+        sink.add(ids::NODE_FAILOVERS, self.upstream_failovers);
+    }
+}
+
 /// A packet waiting in a peer's pacer.
 #[derive(Debug, Clone)]
 struct OutPkt {

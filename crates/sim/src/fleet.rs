@@ -15,9 +15,10 @@
 //! (DESIGN.md §4 explains the two-fidelity approach).
 
 use crate::calibrate::LatencyConstants;
-use crate::metrics::SessionRecord;
+use crate::metrics::{record_session, DecisionOutcome, SessionRecord};
 use crate::workload::{SessionSpec, Workload, WorkloadConfig};
 use livenet_brain::StreamingBrain;
+use livenet_telemetry::{ids, MetricSink, Snapshot, TelemetryHub};
 use livenet_emu::EventQueue;
 use livenet_hier::{HierController, HierDelayModel, HierDelayParams, HierRoles};
 use livenet_topology::{GeoConfig, GeoTopology, NodeReport, Topology};
@@ -448,6 +449,9 @@ pub struct FleetReport {
     pub faults_injected: u64,
     /// Broadcasters rehomed off dead ingest nodes.
     pub producers_rehomed: u64,
+    /// Merged telemetry snapshot (counters, gauges, latency histograms)
+    /// from the run's [`TelemetryHub`] — `fleet.*`, `stage.*`, `brain.*`.
+    pub telemetry: Snapshot,
 }
 
 impl FleetReport {
@@ -473,6 +477,7 @@ impl FleetReport {
             && self.recoveries_hier == other.recoveries_hier
             && self.faults_injected == other.faults_injected
             && self.producers_rehomed == other.producers_rehomed
+            && self.telemetry.bit_identical(&other.telemetry)
     }
 }
 
@@ -523,6 +528,8 @@ pub struct FleetSim {
     current_day: u32,
     day_peak_bps: f64,
     bitrate_bps: f64,
+    // Run-scoped metric hub; snapshotted into the report at the end.
+    telemetry: TelemetryHub,
 }
 
 impl FleetSim {
@@ -679,6 +686,7 @@ impl FleetSim {
             day_path_log: Vec::new(),
             current_day: 0,
             day_peak_bps: 0.0,
+            telemetry: TelemetryHub::new(),
         }
     }
 
@@ -776,6 +784,8 @@ impl FleetSim {
         self.report.hourly_loss.truncate(days * 24);
         self.day_path_log.truncate(days);
         self.report.recompute_rounds = self.brain.recompute_rounds;
+        self.brain.record_telemetry(&mut self.telemetry);
+        self.report.telemetry = self.telemetry.snapshot();
         ShardOutput {
             report: self.report,
             day_path_sets: self.day_path_log,
@@ -841,6 +851,7 @@ impl FleetSim {
     fn on_arrival(&mut self, now: SimTime, spec: SessionSpec) {
         let Some(live_until) = self.channel_live_until(spec.channel, now) else {
             self.report.skipped_offline += 1;
+            self.telemetry.incr(ids::FLEET_RACED_OFFLINE);
             return;
         };
         let stream = self.workload.channels[spec.channel].stream;
@@ -883,6 +894,7 @@ impl FleetSim {
                 Some(&alt) => consumer = alt,
                 None => {
                     self.report.skipped_offline += 1;
+                    self.telemetry.incr(ids::FLEET_RACED_OFFLINE);
                     return;
                 }
             }
@@ -913,7 +925,7 @@ impl FleetSim {
 
         // ---------------- LiveNet ----------------
         let ln = self.livenet_attach(now, consumer, stream, spec.channel);
-        let (path, local_hit, last_resort, brain_ms, first_packet_ms) = ln;
+        let (path, outcome, first_packet_ms) = ln;
         let path_loss: f64 = path
             .windows(2)
             .map(|w| self.topology.link(w[0], w[1]).map(|l| l.loss).unwrap_or(0.0))
@@ -938,7 +950,7 @@ impl FleetSim {
         } + path_loss * 0.05 * view_minutes.min(30.0);
         let stalls_ln = self.poisson(lambda_ln);
         let hour = (now.as_secs_f64() / 3600.0) as u64;
-        self.report.livenet.push(SessionRecord {
+        let ln_record = SessionRecord {
             start: now,
             day: (hour / 24) as u32,
             hour: (hour % 24) as u32,
@@ -949,10 +961,10 @@ impl FleetSim {
             first_packet_ms: first_packet_ms as f32,
             startup_ms: startup_ms as f32,
             stalls: stalls_ln,
-            local_hit,
-            last_resort,
-            brain_response_ms: brain_ms.map(|v| v as f32),
-        });
+            outcome,
+        };
+        record_session(&mut self.telemetry, &ln_record);
+        self.report.livenet.push(ln_record);
         // Unique-path bookkeeping.
         let mut h = DefaultHasher::new();
         path.hash(&mut h);
@@ -1006,9 +1018,11 @@ impl FleetSim {
             first_packet_ms: hier_first_packet as f32,
             startup_ms: hier_startup_ms as f32,
             stalls: stalls_h,
-            local_hit: hier_hit,
-            last_resort: false,
-            brain_response_ms: None,
+            outcome: if hier_hit {
+                DecisionOutcome::LocalHit
+            } else {
+                DecisionOutcome::Prefetched
+            },
         });
 
         // Register the active session and schedule departure.
@@ -1045,21 +1059,21 @@ impl FleetSim {
     // LiveNet attachment (the §4.4 establishment protocol, session level)
     // ------------------------------------------------------------------
 
-    /// Returns `(realized_path, local_hit, last_resort, brain_ms, first_packet_ms)`.
+    /// Returns `(realized_path, decision_outcome, first_packet_ms)`.
     fn livenet_attach(
         &mut self,
         now: SimTime,
         consumer: NodeId,
         stream: StreamId,
         channel: usize,
-    ) -> (Vec<NodeId>, bool, bool, Option<f64>, f64) {
+    ) -> (Vec<NodeId>, DecisionOutcome, f64) {
         // Local hit: the consumer already forwards this stream.
         if let Some(p) = self.presence.get_mut(&(consumer, stream)) {
             p.downstreams += 1;
             let realized = p.realized.clone();
             let first_packet =
                 self.config.latency.local_serve_ms * self.rng.log_normal(0.0, 0.4);
-            return (realized, true, false, None, first_packet);
+            return (realized, DecisionOutcome::LocalHit, first_packet);
         }
 
         // Path lookup. Popular broadcasters' paths are prefetched to all
@@ -1067,8 +1081,9 @@ impl FleetSim {
         let popular = self.workload.channels[channel].popular;
         let lookup = self.brain.path_request(stream, consumer, now);
         let Ok(lookup) = lookup else {
-            // Stream raced offline; serve degenerate zero-hop.
-            return (vec![consumer], false, false, None, 400.0);
+            // Stream raced offline; serve degenerate zero-hop with no
+            // Brain round trip charged (same as a prefetched path).
+            return (vec![consumer], DecisionOutcome::Prefetched, 400.0);
         };
         let brain_ms = if popular {
             None
@@ -1162,7 +1177,19 @@ impl FleetSim {
         let first_packet = brain_ms.unwrap_or(0.0)
             + est_ms
             + self.config.latency.local_serve_ms * self.rng.log_normal(0.0, 0.3);
-        (realized, false, last_resort, brain_ms, first_packet)
+        let outcome = if last_resort {
+            DecisionOutcome::LastResort {
+                response_ms: brain_ms.map(|v| v as f32),
+            }
+        } else {
+            match brain_ms {
+                Some(ms) => DecisionOutcome::Brain {
+                    response_ms: ms as f32,
+                },
+                None => DecisionOutcome::Prefetched,
+            }
+        };
+        (realized, outcome, first_packet)
     }
 
     fn livenet_detach(&mut self, consumer: NodeId, stream: StreamId) {
@@ -1284,6 +1311,7 @@ impl FleetSim {
 
     fn on_fault_start(&mut self, now: SimTime, i: usize) {
         self.report.faults_injected += 1;
+        self.telemetry.incr(ids::FLEET_FAULTS_INJECTED);
         let nodes = self.faults[i].nodes.clone();
         let down: BTreeSet<NodeId> = nodes.iter().copied().collect();
         let day = (now.as_secs_f64() / 86_400.0) as u32;
@@ -1366,6 +1394,9 @@ impl FleetSim {
                     self.nearest_replica_rtt(consumer)
                         + 2400.0 * self.rng.log_normal(0.0, 0.3)
                 };
+                self.telemetry.incr(ids::FLEET_RECOVERIES);
+                self.telemetry
+                    .observe(ids::STAGE_RECOVERY_MS, detect + recover);
                 self.report.recoveries_livenet.push(RecoveryRecord {
                     at: now,
                     day,
@@ -1434,6 +1465,11 @@ impl FleetSim {
     // ------------------------------------------------------------------
 
     fn on_minute(&mut self, now: SimTime) {
+        // In sharded runs this is the per-shard peak; the merged snapshot
+        // keeps the max across shards (gauges merge by max), which both
+        // `run_serial` and `run_parallel` compute over the same partition.
+        self.telemetry
+            .gauge_max(ids::FLEET_PEAK_VIEWERS, self.active.len() as f64);
         let hour = (now.as_secs_f64() / 3600.0) as u64;
         let day = (hour / 24) as u32;
         // Plain hour-of-day load shape (loss follows *time of day*; the
@@ -1624,8 +1660,10 @@ mod tests {
     #[test]
     fn local_hits_happen_and_reduce_first_packet_delay() {
         let r = smoke_report(5);
-        let hits: Vec<&SessionRecord> = r.livenet.iter().filter(|s| s.local_hit).collect();
-        let misses: Vec<&SessionRecord> = r.livenet.iter().filter(|s| !s.local_hit).collect();
+        let hits: Vec<&SessionRecord> =
+            r.livenet.iter().filter(|s| s.outcome.is_local_hit()).collect();
+        let misses: Vec<&SessionRecord> =
+            r.livenet.iter().filter(|s| !s.outcome.is_local_hit()).collect();
         assert!(!hits.is_empty());
         assert!(!misses.is_empty());
         let mean = |v: &[&SessionRecord]| {
@@ -1633,7 +1671,45 @@ mod tests {
         };
         assert!(mean(&hits) < mean(&misses) / 2.0);
         // Hits carry no brain response time.
-        assert!(hits.iter().all(|s| s.brain_response_ms.is_none()));
+        assert!(hits.iter().all(|s| s.outcome.response_ms().is_none()));
+    }
+
+    #[test]
+    fn report_telemetry_mirrors_session_records() {
+        let r = smoke_report(5);
+        let snap = &r.telemetry;
+        assert_eq!(snap.counter("fleet.sessions"), r.livenet.len() as u64);
+        let hits = r.livenet.iter().filter(|s| s.outcome.is_local_hit()).count() as u64;
+        assert_eq!(snap.counter("fleet.local_hits"), hits);
+        let brain_served = r
+            .livenet
+            .iter()
+            .filter(|s| matches!(s.outcome, DecisionOutcome::Brain { .. }))
+            .count() as u64;
+        assert_eq!(snap.counter("fleet.brain_served"), brain_served);
+        assert_eq!(
+            snap.hist("stage.startup_ms").unwrap().count,
+            r.livenet.len() as u64
+        );
+        // Brain lifetime counters flow through record_telemetry.
+        assert_eq!(snap.counter("brain.recompute_rounds"), r.recompute_rounds);
+        assert!(snap.counter("brain.requests_served") > 0);
+        assert!(snap.gauge("fleet.peak_viewers").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn outage_telemetry_counts_faults_and_recoveries() {
+        let r = FleetSim::new(outage_config(11)).run();
+        let snap = &r.telemetry;
+        assert_eq!(snap.counter("fleet.faults_injected"), r.faults_injected);
+        assert_eq!(
+            snap.counter("fleet.recoveries"),
+            r.recoveries_livenet.len() as u64
+        );
+        let rec = snap.hist("stage.recovery_ms").unwrap();
+        assert_eq!(rec.count, r.recoveries_livenet.len() as u64);
+        let mean = rec.mean().unwrap();
+        assert!(mean > 1000.0, "recovery means {mean:.1} ms");
     }
 
     #[test]

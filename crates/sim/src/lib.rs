@@ -40,7 +40,9 @@ pub use fleet::{
     FaultPlanConfig, FleetConfig, FleetConfigBuilder, FleetFault, FleetReport, FleetSim,
     RecoveryRecord, System,
 };
-pub use metrics::{HourlySeries, SessionRecord};
+#[allow(deprecated)]
+pub use metrics::HourlySeries;
+pub use metrics::{record_session, DecisionOutcome, SessionRecord, SessionSummary};
 pub use runner::{partition_channels, FleetRunner, ShardPlan};
 pub use packetsim::{PacketSim, PacketSimConfig, PacketSimReport};
 pub use recovery::{run_recovery, RecoveryMode, RecoveryOutcome, RecoveryScenario};

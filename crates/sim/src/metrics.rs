@@ -6,8 +6,55 @@
 //! Decision logs (response time). [`SessionRecord`] carries the union of
 //! these per viewing session.
 
+use livenet_telemetry::{ids, MetricSink};
 use livenet_types::{Ecdf, SimTime};
 use serde::{Deserialize, Serialize};
+
+/// How a session's path decision was served — the Path Decision log's
+/// outcome field as one typed value.
+///
+/// Replaces the three loosely-coupled `SessionRecord` fields (`local_hit`,
+/// `last_resort`, `brain_response_ms`) that could previously encode
+/// impossible combinations (e.g. a local hit with a brain response time).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DecisionOutcome {
+    /// The consumer node already carried the stream; no lookup at all.
+    LocalHit,
+    /// Served from a prefetched/degenerate path with no Brain round trip
+    /// (popular broadcasters' paths are pushed to all nodes, §4.4).
+    Prefetched,
+    /// Served by a live Brain round trip.
+    Brain {
+        /// Path Decision log: response time.
+        response_ms: f32,
+    },
+    /// Served via a last-resort path (PIB miss or overload filtering).
+    LastResort {
+        /// Response time of the failed lookup, when one was made.
+        response_ms: Option<f32>,
+    },
+}
+
+impl DecisionOutcome {
+    /// The consumer already had the path/stream.
+    pub fn is_local_hit(self) -> bool {
+        matches!(self, DecisionOutcome::LocalHit)
+    }
+
+    /// The session was served via a last-resort path.
+    pub fn is_last_resort(self) -> bool {
+        matches!(self, DecisionOutcome::LastResort { .. })
+    }
+
+    /// Path Decision response time, when a Brain round trip happened.
+    pub fn response_ms(self) -> Option<f32> {
+        match self {
+            DecisionOutcome::Brain { response_ms } => Some(response_ms),
+            DecisionOutcome::LastResort { response_ms } => response_ms,
+            DecisionOutcome::LocalHit | DecisionOutcome::Prefetched => None,
+        }
+    }
+}
 
 /// One viewing session's metrics for one system (LiveNet or Hier).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -32,12 +79,8 @@ pub struct SessionRecord {
     pub startup_ms: f32,
     /// Client log: number of stalls during the view.
     pub stalls: u16,
-    /// Consumer already had the path/stream (local hit).
-    pub local_hit: bool,
-    /// Served via a last-resort path.
-    pub last_resort: bool,
-    /// Path Decision log: response time (None on local hits).
-    pub brain_response_ms: Option<f32>,
+    /// Path Decision log: how the path decision was served.
+    pub outcome: DecisionOutcome,
 }
 
 impl SessionRecord {
@@ -50,16 +93,67 @@ impl SessionRecord {
     pub fn zero_stall(&self) -> bool {
         self.stalls == 0
     }
+
+    /// Consumer already had the path/stream (local hit).
+    #[deprecated(since = "0.1.0", note = "match on `outcome` instead")]
+    pub fn local_hit(&self) -> bool {
+        self.outcome.is_local_hit()
+    }
+
+    /// Served via a last-resort path.
+    #[deprecated(since = "0.1.0", note = "match on `outcome` instead")]
+    pub fn last_resort(&self) -> bool {
+        self.outcome.is_last_resort()
+    }
+
+    /// Path Decision log: response time (None on local hits).
+    #[deprecated(since = "0.1.0", note = "match on `outcome` instead")]
+    pub fn brain_response_ms(&self) -> Option<f32> {
+        self.outcome.response_ms()
+    }
+}
+
+/// Record one session — counters by decision outcome plus the per-stage
+/// latency histograms (`stage.*`) that attribute startup latency the way
+/// the paper's client logs support (Fig. 10) — into a metric sink.
+///
+/// This is the [`MetricSink`] port of the aggregation `summarize` does by
+/// hand; the fleet simulator calls it per LiveNet session.
+pub fn record_session(sink: &mut impl MetricSink, s: &SessionRecord) {
+    sink.incr(ids::FLEET_SESSIONS);
+    match s.outcome {
+        DecisionOutcome::LocalHit => sink.incr(ids::FLEET_LOCAL_HITS),
+        DecisionOutcome::Prefetched => sink.incr(ids::FLEET_PREFETCHED),
+        DecisionOutcome::Brain { response_ms } => {
+            sink.incr(ids::FLEET_BRAIN_SERVED);
+            sink.observe(ids::STAGE_BRAIN_LOOKUP_MS, f64::from(response_ms));
+        }
+        DecisionOutcome::LastResort { response_ms } => {
+            sink.incr(ids::FLEET_LAST_RESORT);
+            if let Some(ms) = response_ms {
+                sink.observe(ids::STAGE_BRAIN_LOOKUP_MS, f64::from(ms));
+            }
+        }
+    }
+    sink.observe(ids::STAGE_FIRST_PACKET_MS, f64::from(s.first_packet_ms));
+    sink.observe(ids::STAGE_STARTUP_MS, f64::from(s.startup_ms));
+    sink.observe(ids::STAGE_CDN_PATH_MS, f64::from(s.cdn_delay_ms));
+    sink.observe(ids::STAGE_STREAMING_MS, f64::from(s.streaming_delay_ms));
 }
 
 /// Accumulates a per-hour scalar series over the run (e.g. hit ratio,
 /// first-packet delay) — the shape Fig. 10 plots.
+#[deprecated(
+    since = "0.1.0",
+    note = "use a `livenet_telemetry::TelemetryHub` histogram keyed per hour instead"
+)]
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct HourlySeries {
     sums: Vec<f64>,
     counts: Vec<u64>,
 }
 
+#[allow(deprecated)]
 impl HourlySeries {
     /// Empty series.
     pub fn new() -> Self {
@@ -149,8 +243,8 @@ pub fn summarize(sessions: &[SessionRecord]) -> SessionSummary {
         stream.push(f64::from(s.streaming_delay_ms));
         zero_stall += usize::from(s.zero_stall());
         fast += usize::from(s.fast_startup());
-        hits += usize::from(s.local_hit);
-        lr += usize::from(s.last_resort);
+        hits += usize::from(s.outcome.is_local_hit());
+        lr += usize::from(s.outcome.is_last_resort());
     }
     let n = sessions.len().max(1);
     SessionSummary {
@@ -181,9 +275,7 @@ mod tests {
             first_packet_ms: 80.0,
             startup_ms: startup,
             stalls,
-            local_hit: true,
-            last_resort: false,
-            brain_response_ms: None,
+            outcome: DecisionOutcome::LocalHit,
         }
     }
 
@@ -205,6 +297,41 @@ mod tests {
     }
 
     #[test]
+    fn record_session_counts_outcomes_and_stage_latencies() {
+        use livenet_telemetry::TelemetryHub;
+        let mut hub = TelemetryHub::new();
+        let mut brain_rec = rec(500.0, 0);
+        brain_rec.outcome = DecisionOutcome::Brain { response_ms: 42.0 };
+        let mut lr_rec = rec(1200.0, 1);
+        lr_rec.outcome = DecisionOutcome::LastResort { response_ms: None };
+        for s in [rec(500.0, 0), brain_rec, lr_rec] {
+            record_session(&mut hub, &s);
+        }
+        let snap = hub.snapshot();
+        assert_eq!(snap.counter("fleet.sessions"), 3);
+        assert_eq!(snap.counter("fleet.local_hits"), 1);
+        assert_eq!(snap.counter("fleet.brain_served"), 1);
+        assert_eq!(snap.counter("fleet.last_resort"), 1);
+        let lookup = snap.hist("stage.brain_lookup_ms").unwrap();
+        assert_eq!(lookup.count, 1);
+        assert!((lookup.mean().unwrap() - 42.0).abs() < 1e-9);
+        assert_eq!(snap.hist("stage.startup_ms").unwrap().count, 3);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_accessors_mirror_outcome() {
+        let mut s = rec(500.0, 0);
+        assert!(s.local_hit());
+        assert!(!s.last_resort());
+        assert_eq!(s.brain_response_ms(), None);
+        s.outcome = DecisionOutcome::Brain { response_ms: 7.5 };
+        assert!(!s.local_hit());
+        assert_eq!(s.brain_response_ms(), Some(7.5));
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn hourly_series_means_and_profile() {
         let mut h = HourlySeries::new();
         h.push(0, 10.0);

@@ -192,6 +192,9 @@ impl FleetRunner {
 /// * `faults_injected`: shard 0's count — the fault schedule is derived
 ///   from the workload seed alone, so every shard injects the identical
 ///   episodes and summing would multiply-count them.
+/// * `telemetry`: snapshot merge in shard-index order — counters sum,
+///   gauges keep the max, histograms add bucket counts and fixed-point
+///   sums, so the merged bits never depend on completion order.
 /// * Other counters: summed.
 fn merge(outputs: Vec<ShardOutput>, days: usize) -> FleetReport {
     let mut merged = FleetReport::default();
@@ -227,6 +230,7 @@ fn merge(outputs: Vec<ShardOutput>, days: usize) -> FleetReport {
         merged.chain_switches += out.report.chain_switches;
         merged.recompute_rounds += out.report.recompute_rounds;
         merged.producers_rehomed += out.report.producers_rehomed;
+        merged.telemetry.merge(&out.report.telemetry);
     }
     merged.daily_unique_paths = day_sets.iter().map(HashSet::len).collect();
     merged
@@ -339,6 +343,32 @@ mod tests {
         assert_eq!(serial.faults_injected, parallel.faults_injected);
         assert!(serial.faults_injected >= 3);
         assert!(!serial.recoveries_livenet.is_empty());
+    }
+
+    #[test]
+    fn merged_telemetry_is_bit_identical_across_shard_widths() {
+        // The contract exp_observe relies on: at every shard width the
+        // merged telemetry snapshot is bit-identical between serial and
+        // parallel execution, and consistent with the merged sessions.
+        for shards in [1usize, 2, 4, 8] {
+            let cfg = FleetConfigBuilder::from_config(tiny_config(21))
+                .shards(shards)
+                .build()
+                .unwrap();
+            let runner = FleetRunner::new(cfg).unwrap();
+            let serial = runner.run_serial();
+            let parallel = runner.run_parallel(shards.max(2));
+            assert!(
+                serial.telemetry.bit_identical(&parallel.telemetry),
+                "telemetry diverged at {shards} shards"
+            );
+            assert_eq!(
+                serial.telemetry.counter("fleet.sessions"),
+                serial.livenet.len() as u64,
+                "session counter mismatch at {shards} shards"
+            );
+            assert!(!serial.telemetry.to_json().is_empty());
+        }
     }
 
     #[test]

@@ -66,13 +66,13 @@ fn path_lengths_respect_bounds() {
 fn local_hits_never_pay_brain_latency() {
     let r = smoke(41);
     for s in &r.livenet {
-        if s.local_hit {
-            assert!(s.brain_response_ms.is_none());
+        if s.outcome.is_local_hit() {
+            assert!(s.outcome.response_ms().is_none());
         }
     }
     // And some hits exist even in a short run.
-    assert!(r.livenet.iter().any(|s| s.local_hit));
-    assert!(r.livenet.iter().any(|s| !s.local_hit));
+    assert!(r.livenet.iter().any(|s| s.outcome.is_local_hit()));
+    assert!(r.livenet.iter().any(|s| !s.outcome.is_local_hit()));
 }
 
 #[test]

@@ -83,6 +83,8 @@ impl Bencher {
     }
 }
 
+// Bench harness output is the product here, not a library side effect.
+#[allow(clippy::print_stdout)]
 fn run_one(name: &str, samples: usize, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
     // One calibration pass, then the timed pass.
     let mut b = Bencher {
