@@ -31,6 +31,8 @@ pub struct Report {
     paper_ref: String,
     meta: Vec<(String, String)>,
     sections: Vec<Section>,
+    /// Attached telemetry snapshot, pre-rendered as JSON.
+    telemetry_json: Option<String>,
 }
 
 impl Report {
@@ -41,6 +43,7 @@ impl Report {
             paper_ref: paper_ref.into(),
             meta: Vec::new(),
             sections: Vec::new(),
+            telemetry_json: None,
         }
     }
 
@@ -84,6 +87,14 @@ impl Report {
         self
     }
 
+    /// Attach a telemetry snapshot. It is embedded verbatim under the
+    /// `"telemetry"` key of [`Report::to_json`] (the snapshot's own JSON
+    /// form is canonical) and summarized as one line in the text render.
+    pub fn telemetry(&mut self, snapshot: &livenet_telemetry::Snapshot) -> &mut Report {
+        self.telemetry_json = Some(snapshot.to_json());
+        self
+    }
+
     /// Render the whole report to a string exactly as `print` shows it.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
@@ -96,6 +107,9 @@ impl Report {
         }
         for (k, v) in &self.meta {
             out.push_str(&format!("{k}: {v}\n"));
+        }
+        if self.telemetry_json.is_some() {
+            out.push_str("telemetry: attached (see JSON artifact)\n");
         }
         out.push_str(&rule);
         out.push('\n');
@@ -176,7 +190,12 @@ impl Report {
         if !self.sections.is_empty() {
             s.push_str("\n  ");
         }
-        s.push_str("]\n}\n");
+        s.push(']');
+        if let Some(telemetry) = &self.telemetry_json {
+            s.push_str(",\n  \"telemetry\": ");
+            s.push_str(telemetry.trim_end());
+        }
+        s.push_str("\n}\n");
         s
     }
 
@@ -277,6 +296,19 @@ mod tests {
         assert!(a.contains("line\\nbreak"));
         assert!(a.contains("\"headers\": [\"h\"]"));
         assert!(a.contains("\"rows\": [[\"v\"]]"));
+    }
+
+    #[test]
+    fn telemetry_snapshot_embeds_in_json() {
+        use livenet_telemetry::{ids, MetricSink, TelemetryHub};
+        let mut hub = TelemetryHub::new();
+        hub.incr(ids::TRANSPORT_RX_DATAGRAMS);
+        let mut r = Report::new("telemetry test", "");
+        r.telemetry(&hub.snapshot());
+        let json = r.to_json();
+        assert!(json.contains("\"telemetry\": "));
+        assert!(json.contains("transport.rx_datagrams"));
+        assert!(r.to_text().contains("telemetry: attached"));
     }
 
     #[test]

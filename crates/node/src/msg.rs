@@ -19,6 +19,7 @@ const TAG_RTCP: u8 = 2;
 const TAG_SUBSCRIBE: u8 = 3;
 const TAG_SUBSCRIBE_OK: u8 = 4;
 const TAG_UNSUBSCRIBE: u8 = 5;
+const TAG_KEEPALIVE: u8 = 6;
 
 /// One overlay datagram.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,6 +61,9 @@ pub enum OverlayMsg {
         /// Stream to drop.
         stream: StreamId,
     },
+    /// Liveness ping. Nodes refresh `last_heard` for the source; clients
+    /// use it to keep NAT bindings warm between receiver reports.
+    Keepalive,
 }
 
 impl OverlayMsg {
@@ -100,6 +104,9 @@ impl OverlayMsg {
                 buf.put_u8(TAG_UNSUBSCRIBE);
                 buf.put_u64(stream.raw());
             }
+            OverlayMsg::Keepalive => {
+                buf.put_u8(TAG_KEEPALIVE);
+            }
         }
         buf.freeze()
     }
@@ -111,6 +118,7 @@ impl OverlayMsg {
             OverlayMsg::Rtcp { packet, .. } => 1 + 8 + packet.len(),
             OverlayMsg::Subscribe { remainder, .. } => 1 + 8 + 2 + 8 * remainder.len(),
             OverlayMsg::SubscribeOk { .. } | OverlayMsg::Unsubscribe { .. } => 1 + 8,
+            OverlayMsg::Keepalive => 1,
         }
     }
 
@@ -173,6 +181,7 @@ impl OverlayMsg {
                     stream: StreamId::new(buf.get_u64()),
                 })
             }
+            TAG_KEEPALIVE => Ok(OverlayMsg::Keepalive),
             other => Err(Error::decode(format!("unknown overlay tag {other}"))),
         }
     }
@@ -225,6 +234,7 @@ mod tests {
                 stream: StreamId::new(5),
                 packet: Bytes::from_static(b"fb"),
             },
+            OverlayMsg::Keepalive,
         ] {
             assert_eq!(OverlayMsg::decode(m.encode()).unwrap(), m);
         }

@@ -22,7 +22,10 @@ use crate::fib::{StreamFib, Subscriber};
 use crate::msg::OverlayMsg;
 use crate::rx::{RxOutcome, RxState};
 use bytes::Bytes;
-use livenet_cc::{DelayBasedEstimator, GccSender, PacedPacket, Pacer, PacerConfig, SendPriority};
+use livenet_cc::{
+    DelayBasedEstimator, GccSender, PacedPacket, Pacer, PacerConfig, RateDecisionStats,
+    SendPriority,
+};
 use livenet_media::{EncodedFrame, FrameKind, SimulcastLadder};
 use livenet_packet::{frag_meta, MediaKind, Packetizer, RtcpPacket, RtpPacket};
 use livenet_packet::rtp::ssrc_for_stream;
@@ -122,6 +125,10 @@ pub struct NodeConfig {
     /// healthy-but-idle upstream (which still reports) is never declared
     /// dead on media gaps alone.
     pub upstream_timeout: SimDuration,
+    /// Largest overlay datagram a socket driver should accept without
+    /// truncation. Socket drivers size their receive buffer from this;
+    /// they additionally cap it at 64 KiB, the UDP maximum.
+    pub max_datagram_bytes: usize,
 }
 
 impl NodeConfig {
@@ -142,6 +149,7 @@ impl NodeConfig {
             startup_burst: true,
             liveness_interval: SimDuration::from_millis(500),
             upstream_timeout: SimDuration::from_millis(2500),
+            max_datagram_bytes: 64 * 1024,
         }
     }
 }
@@ -660,6 +668,27 @@ impl OverlayNode {
         }
     }
 
+    /// Current pacing rate toward an attached client, `None` when the
+    /// client is unknown. Observes the sender-side cc loop from outside —
+    /// the wire harness uses this to show client feedback moving the rate.
+    pub fn client_pacing_rate(&self, client: ClientId) -> Option<Bandwidth> {
+        self.pacers
+            .get(&Subscriber::Client(client))
+            .map(|p| p.rate())
+    }
+
+    /// Sum of sender-side rate decisions across every per-subscriber GCC
+    /// controller (nodes and clients alike).
+    pub fn cc_decision_totals(&self) -> RateDecisionStats {
+        let mut total = RateDecisionStats::default();
+        for sender in self.gcc_tx.values() {
+            total.increases += sender.decisions.increases;
+            total.holds += sender.decisions.holds;
+            total.decreases += sender.decisions.decreases;
+        }
+        total
+    }
+
     /// Begin a seamless co-stream switch for a client (§5.2). The consumer
     /// subscribes to the co-broadcast stream itself; once a complete GoP is
     /// cached the client is flipped without a stall.
@@ -756,6 +785,35 @@ impl OverlayNode {
                     self.maybe_release_stream(now, stream, &mut actions);
                 }
             }
+            // The `last_heard` refresh above is the entire effect.
+            OverlayMsg::Keepalive => {}
+        }
+        actions
+    }
+
+    /// Handle one datagram arriving from an attached viewer client — the
+    /// client-sourced half of the datapath. Clients never carry RTP or the
+    /// subscription protocol; the only meaningful traffic is RTCP feedback
+    /// (NACKs, receiver reports, REMB) and keepalives. Feedback drives the
+    /// same per-subscriber GCC sender and pacer as node feedback does, so
+    /// rate adaptation and loss recovery work for last-mile viewers too.
+    pub fn on_client_datagram(
+        &mut self,
+        now: SimTime,
+        from: ClientId,
+        payload: Bytes,
+    ) -> Vec<NodeAction> {
+        let mut actions = Vec::new();
+        let Ok(msg) = OverlayMsg::decode(payload) else {
+            return actions; // malformed; drop
+        };
+        match msg {
+            OverlayMsg::Rtcp { stream, packet } => {
+                self.on_rtcp_from(now, Subscriber::Client(from), stream, packet, &mut actions)
+            }
+            OverlayMsg::Keepalive => {}
+            // Clients do not speak the node-to-node protocol.
+            _ => {}
         }
         actions
     }
@@ -879,10 +937,21 @@ impl OverlayNode {
         packet: Bytes,
         actions: &mut Vec<NodeAction>,
     ) {
+        self.on_rtcp_from(now, Subscriber::Node(from), stream, packet, actions);
+    }
+
+    /// Shared RTCP handling for node- and client-sourced feedback.
+    fn on_rtcp_from(
+        &mut self,
+        now: SimTime,
+        peer: Subscriber,
+        stream: StreamId,
+        packet: Bytes,
+        actions: &mut Vec<NodeAction>,
+    ) {
         let Ok(rtcp) = RtcpPacket::decode(packet) else {
             return;
         };
-        let peer = Subscriber::Node(from);
         match rtcp {
             RtcpPacket::Nack(Nack { lost, .. }) => {
                 // Serve retransmissions from the packet cache; remember
@@ -906,6 +975,12 @@ impl OverlayNode {
                 }
                 for seq in unavailable {
                     self.stats.rtx_unavailable += 1;
+                    // Only node waiters are parked: when our own recovery
+                    // arrives, `forward_recovery_to_clients` already fans
+                    // the retransmission out to every client subscriber.
+                    let Subscriber::Node(from) = peer else {
+                        continue;
+                    };
                     let pend = self.pending_rtx.entry(stream).or_default();
                     if pend.len() < MAX_PENDING_RTX {
                         let waiters = pend.entry(seq.0).or_default();

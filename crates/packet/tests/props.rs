@@ -53,6 +53,39 @@ proptest! {
         let _ = RtpPacket::decode(Bytes::from(bytes));
     }
 
+    /// The 48-bit delay extension: any microsecond value below 2^48
+    /// roundtrips exactly through encode/decode; anything above saturates
+    /// to the field's ceiling instead of wrapping.
+    #[test]
+    fn delay_field_48bit_roundtrip(us in 0u64..(1 << 50)) {
+        let pkt = RtpPacket {
+            header: arb_header(false, false, 1, 2, 3, Some(us)),
+            payload: Bytes::from_static(b"x"),
+        };
+        let decoded = RtpPacket::decode(pkt.encode()).expect("decode");
+        let expect = us.min((1 << 48) - 1);
+        prop_assert_eq!(
+            decoded.header.delay_field,
+            Some(SimDuration::from_micros(expect))
+        );
+    }
+
+    /// Per-hop accumulation (`with_added_delay`) survives the wire: the
+    /// decoded field equals the saturating sum of both hops' delays.
+    #[test]
+    fn delay_field_accumulates_across_hops(a in 0u64..(1 << 47), b in 0u64..(1 << 47)) {
+        let pkt = RtpPacket {
+            header: arb_header(true, false, 9, 9, 9, Some(a)),
+            payload: Bytes::from_static(b"y"),
+        };
+        let hopped = pkt.with_added_delay(SimDuration::from_micros(b));
+        let decoded = RtpPacket::decode(hopped.encode()).expect("decode");
+        prop_assert_eq!(
+            decoded.header.delay_field.map(|d| d.as_micros()),
+            Some((a + b).min((1 << 48) - 1))
+        );
+    }
+
     /// RTCP messages roundtrip.
     #[test]
     fn rtcp_roundtrip(

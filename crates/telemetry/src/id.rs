@@ -154,6 +154,29 @@ pub mod ids {
     pub const STAGE_STREAMING_MS: MetricId = MetricId("stage.streaming_ms");
     /// Recovery detect→reroute latency, ms.
     pub const STAGE_RECOVERY_MS: MetricId = MetricId("stage.recovery_ms");
+
+    // ---- transport: the real-socket (tokio UDP) driver ----
+
+    /// Datagrams received and dispatched into the sans-I/O core.
+    pub const TRANSPORT_RX_DATAGRAMS: MetricId = MetricId("transport.rx_datagrams");
+    /// Datagrams sent on the socket.
+    pub const TRANSPORT_TX_DATAGRAMS: MetricId = MetricId("transport.tx_datagrams");
+    /// Bytes sent on the socket.
+    pub const TRANSPORT_TX_BYTES: MetricId = MetricId("transport.tx_bytes");
+    /// Datagrams dropped because the source address is neither a known
+    /// peer nor an attached client.
+    pub const TRANSPORT_UNKNOWN_SOURCE_DROPS: MetricId =
+        MetricId("transport.unknown_source_drops");
+    /// Datagrams dropped because they exceeded the configured receive
+    /// buffer (`NodeConfig::max_datagram_bytes`) and were truncated.
+    pub const TRANSPORT_RECV_TRUNCATED: MetricId = MetricId("transport.recv_truncated");
+    /// Stale timer keys skipped because their generation was cancelled.
+    pub const TRANSPORT_TIMERS_CANCELLED: MetricId = MetricId("transport.timers_cancelled");
+    /// Socket send errors (best-effort datapath; counted, not retried).
+    pub const TRANSPORT_SEND_ERRORS: MetricId = MetricId("transport.send_errors");
+    /// Wall-clock time spent dispatching one received datagram through
+    /// the core and applying its actions, ms.
+    pub const TRANSPORT_RX_DISPATCH_MS: MetricId = MetricId("transport.rx_dispatch_ms");
 }
 
 #[cfg(test)]

@@ -14,6 +14,10 @@
 //! A lightweight in-process [`BrainHandle`] wraps the Streaming Brain for
 //! path lookups from driver code (in production this is an RPC; the
 //! control-plane protocol itself is exercised by `livenet-brain`'s tests).
+//!
+//! [`testbed`] assembles the whole thing — brain, nodes, a paced
+//! broadcaster, and feedback-sending viewers — into a driveable loopback
+//! overlay, with every layer recording into one [`SharedTelemetry`] hub.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,7 +25,11 @@
 pub mod brain;
 pub mod clock;
 pub mod node;
+pub mod telemetry;
+pub mod testbed;
 
 pub use brain::BrainHandle;
 pub use clock::WallClock;
-pub use node::{NodeCommand, NodeHandle, UdpOverlayNode};
+pub use node::{NodeCommand, NodeGone, NodeHandle, UdpOverlayNode};
+pub use telemetry::SharedTelemetry;
+pub use testbed::{TestbedConfig, ViewerReport, WireRunReport, WireViewer};

@@ -1,15 +1,29 @@
 //! A UDP overlay node: the sans-I/O core + a tokio event loop.
+//!
+//! The driver owns everything the core deliberately does not: the socket,
+//! the address books (peer ⇄ addr, client ⇄ addr), the timer wheel, and
+//! the command channel. Datagrams are routed into the core by source
+//! address — peer addresses through [`OverlayNode::on_datagram`], attached
+//! client addresses through [`OverlayNode::on_client_datagram`] (so client
+//! RTCP feedback drives cc and loss recovery on the wire exactly as in the
+//! emulator), and unknown sources are dropped and counted.
 
 use crate::clock::WallClock;
+use crate::telemetry::SharedTelemetry;
 use bytes::Bytes;
 use livenet_media::{EncodedFrame, SimulcastLadder};
-use livenet_node::{NodeAction, NodeConfig, NodeEvent, OverlayNode, Subscriber};
+use livenet_node::{NodeAction, NodeConfig, NodeEvent, OverlayNode, Subscriber, TimerKind};
+use livenet_telemetry::{ids, MetricSink, Span};
 use livenet_types::{Bandwidth, ClientId, NodeId, SimDuration, SimTime, StreamId};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::net::SocketAddr;
 use tokio::net::UdpSocket;
 use tokio::sync::mpsc;
+
+/// The UDP payload ceiling: receive buffers never need to exceed this,
+/// whatever `NodeConfig::max_datagram_bytes` says.
+const MAX_UDP_DATAGRAM: usize = 64 * 1024;
 
 /// Commands accepted by a running node.
 #[derive(Debug)]
@@ -48,7 +62,8 @@ pub enum NodeCommand {
         /// Producer-first path for reverse subscription (None = local hit
         /// expected).
         path: Option<Vec<NodeId>>,
-        /// Where to send the client's packets.
+        /// Where to send the client's packets — and where its RTCP
+        /// feedback will come from.
         addr: SocketAddr,
     },
     /// Detach a viewer.
@@ -59,6 +74,19 @@ pub enum NodeCommand {
     /// Stop the event loop.
     Shutdown,
 }
+
+/// Error returned by [`NodeHandle::send`] when the node task has exited
+/// (shut down, panicked, or been aborted) and the command channel closed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeGone;
+
+impl std::fmt::Display for NodeGone {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "overlay node task has exited")
+    }
+}
+
+impl std::error::Error for NodeGone {}
 
 /// Handle to a spawned node.
 #[derive(Debug, Clone)]
@@ -71,9 +99,11 @@ pub struct NodeHandle {
 }
 
 impl NodeHandle {
-    /// Send a command; panics if the node has shut down (test-friendly).
-    pub async fn send(&self, cmd: NodeCommand) {
-        self.tx.send(cmd).await.expect("node task alive");
+    /// Send a command to the node's event loop. Errors (instead of
+    /// panicking) when the task is gone, so shutdown races — a command
+    /// sent while the node is draining — stay recoverable.
+    pub async fn send(&self, cmd: NodeCommand) -> Result<(), NodeGone> {
+        self.tx.send(cmd).await.map_err(|_| NodeGone)
     }
 }
 
@@ -85,17 +115,28 @@ pub struct UdpOverlayNode {
     peers: HashMap<NodeId, SocketAddr>,
     peer_of_addr: HashMap<SocketAddr, NodeId>,
     clients: HashMap<ClientId, SocketAddr>,
-    timers: BinaryHeap<Reverse<(SimTime, u64)>>,
+    client_of_addr: HashMap<SocketAddr, ClientId>,
+    /// Pending timers as `(deadline, key, generation)`. A popped entry
+    /// whose generation no longer matches `timer_gen[key]` was cancelled
+    /// and is skipped instead of fired.
+    timers: BinaryHeap<Reverse<(SimTime, u64, u64)>>,
+    timer_gen: HashMap<u64, u64>,
+    /// Receive buffer capacity (from `NodeConfig::max_datagram_bytes`,
+    /// capped at [`MAX_UDP_DATAGRAM`]).
+    recv_cap: usize,
     rx: mpsc::Receiver<NodeCommand>,
     /// Instrumentation events observed (bounded ring would be production
     /// behaviour; tests drain it via the returned channel).
     events_tx: mpsc::UnboundedSender<(SimTime, NodeEvent)>,
+    telemetry: SharedTelemetry,
 }
 
 impl UdpOverlayNode {
-    /// Bind a socket and spawn the node's event loop.
+    /// Bind a socket and spawn the node's event loop with a private
+    /// telemetry hub.
     ///
-    /// Returns the handle, an event stream, and the join handle.
+    /// Returns the handle, an event stream, and the join handle (which
+    /// resolves to the sans-I/O core for post-mortem inspection).
     pub async fn spawn(
         config: NodeConfig,
         bind: SocketAddr,
@@ -105,9 +146,26 @@ impl UdpOverlayNode {
         mpsc::UnboundedReceiver<(SimTime, NodeEvent)>,
         tokio::task::JoinHandle<OverlayNode>,
     )> {
+        Self::spawn_with_telemetry(config, bind, clock, SharedTelemetry::new()).await
+    }
+
+    /// Like [`UdpOverlayNode::spawn`], recording into a shared hub — one
+    /// hub can aggregate a whole overlay. On exit the node also records
+    /// its core's [`livenet_node::NodeStats`] and cc decision totals.
+    pub async fn spawn_with_telemetry(
+        config: NodeConfig,
+        bind: SocketAddr,
+        clock: WallClock,
+        telemetry: SharedTelemetry,
+    ) -> std::io::Result<(
+        NodeHandle,
+        mpsc::UnboundedReceiver<(SimTime, NodeEvent)>,
+        tokio::task::JoinHandle<OverlayNode>,
+    )> {
         let socket = UdpSocket::bind(bind).await?;
         let addr = socket.local_addr()?;
         let id = config.id;
+        let recv_cap = config.max_datagram_bytes.min(MAX_UDP_DATAGRAM);
         let (tx, rx) = mpsc::channel(256);
         let (events_tx, events_rx) = mpsc::unbounded_channel();
         let mut node = UdpOverlayNode {
@@ -117,13 +175,17 @@ impl UdpOverlayNode {
             peers: HashMap::new(),
             peer_of_addr: HashMap::new(),
             clients: HashMap::new(),
+            client_of_addr: HashMap::new(),
             timers: BinaryHeap::new(),
+            timer_gen: HashMap::new(),
+            recv_cap,
             rx,
             events_tx,
+            telemetry,
         };
         let join = tokio::spawn(async move {
             node.run().await;
-            node.core
+            node.finish()
         });
         Ok((NodeHandle { tx, addr, id }, events_rx, join))
     }
@@ -131,9 +193,12 @@ impl UdpOverlayNode {
     async fn run(&mut self) {
         let start_actions = self.core.start(self.clock.now());
         self.apply(start_actions).await;
-        let mut buf = vec![0u8; 2048];
+        // One extra byte past the cap: `recv_from` filling it proves the
+        // datagram was larger than the cap and got truncated by the
+        // kernel, which an exact-cap read could not distinguish.
+        let mut buf = vec![0u8; self.recv_cap + 1];
         loop {
-            let next_timer = self.timers.peek().map(|Reverse((t, _))| *t);
+            let next_timer = self.timers.peek().map(|Reverse((t, _, _))| *t);
             let sleep_until = next_timer
                 .map(|t| self.clock.instant_at(t))
                 .unwrap_or_else(|| {
@@ -149,12 +214,7 @@ impl UdpOverlayNode {
                 }
                 recv = self.socket.recv_from(&mut buf) => {
                     if let Ok((len, src)) = recv {
-                        if let Some(&from) = self.peer_of_addr.get(&src) {
-                            let payload = Bytes::copy_from_slice(&buf[..len]);
-                            let now = self.clock.now();
-                            let actions = self.core.on_datagram(now, from, payload);
-                            self.apply(actions).await;
-                        }
+                        self.dispatch_datagram(&buf, len, src).await;
                     }
                 }
                 _ = tokio::time::sleep_until(sleep_until) => {
@@ -164,21 +224,65 @@ impl UdpOverlayNode {
         }
     }
 
-    async fn fire_due_timers(&mut self) {
+    /// Route one received datagram into the core by source address.
+    async fn dispatch_datagram(&mut self, buf: &[u8], len: usize, src: SocketAddr) {
+        if len > self.recv_cap {
+            // Truncated by the kernel: the tail is gone, decoding would
+            // at best produce a corrupt packet. Drop loudly.
+            self.telemetry
+                .with(|h| h.incr(ids::TRANSPORT_RECV_TRUNCATED));
+            return;
+        }
         let now = self.clock.now();
-        let mut due = Vec::new();
-        while let Some(&Reverse((t, key))) = self.timers.peek() {
-            if t <= now {
-                self.timers.pop();
-                due.push(key);
-            } else {
+        let span = Span::begin(ids::TRANSPORT_RX_DISPATCH_MS, now);
+        let actions = if let Some(&from) = self.peer_of_addr.get(&src) {
+            self.core
+                .on_datagram(now, from, Bytes::copy_from_slice(&buf[..len]))
+        } else if let Some(&client) = self.client_of_addr.get(&src) {
+            self.core
+                .on_client_datagram(now, client, Bytes::copy_from_slice(&buf[..len]))
+        } else {
+            self.telemetry
+                .with(|h| h.incr(ids::TRANSPORT_UNKNOWN_SOURCE_DROPS));
+            return;
+        };
+        self.apply(actions).await;
+        let end = self.clock.now();
+        self.telemetry.with(|h| {
+            h.incr(ids::TRANSPORT_RX_DATAGRAMS);
+            span.end(h, end);
+        });
+    }
+
+    async fn fire_due_timers(&mut self) {
+        // Pop-one / fire / re-read the clock: `apply` can itself arm a
+        // timer for an instant earlier than the next heap entry (a pacer
+        // re-poll, say), and re-evaluating `now` and the heap head after
+        // every apply fires it in this same pass instead of letting it
+        // wait out a full sleep cycle.
+        loop {
+            let now = self.clock.now();
+            let Some(&Reverse((t, key, gen))) = self.timers.peek() else {
+                break;
+            };
+            if t > now {
                 break;
             }
-        }
-        for key in due {
-            let actions = self.core.on_timer(self.clock.now(), key);
+            self.timers.pop();
+            if self.timer_gen.get(&key).copied().unwrap_or(0) != gen {
+                self.telemetry
+                    .with(|h| h.incr(ids::TRANSPORT_TIMERS_CANCELLED));
+                continue;
+            }
+            let actions = self.core.on_timer(now, key);
             self.apply(actions).await;
         }
+    }
+
+    /// Invalidate every pending heap entry for `key` by bumping its
+    /// generation; entries already in the heap are skipped when popped.
+    fn cancel_timer(&mut self, key: u64) {
+        *self.timer_gen.entry(key).or_insert(0) += 1;
     }
 
     async fn handle_command(&mut self, cmd: NodeCommand) {
@@ -192,7 +296,13 @@ impl UdpOverlayNode {
                 self.apply(actions).await;
             }
             NodeCommand::AddPeer { node, addr, rtt } => {
-                self.peers.insert(node, addr);
+                // A re-homed peer (same id, new address) must not keep
+                // delivering datagrams under its old address mapping.
+                if let Some(old) = self.peers.insert(node, addr) {
+                    if old != addr && self.peer_of_addr.get(&old) == Some(&node) {
+                        self.peer_of_addr.remove(&old);
+                    }
+                }
                 self.peer_of_addr.insert(addr, node);
                 self.core.set_neighbor_rtt(node, rtt);
             }
@@ -203,7 +313,12 @@ impl UdpOverlayNode {
                 path,
                 addr,
             } => {
-                self.clients.insert(client, addr);
+                if let Some(old) = self.clients.insert(client, addr) {
+                    if old != addr && self.client_of_addr.get(&old) == Some(&client) {
+                        self.client_of_addr.remove(&old);
+                    }
+                }
+                self.client_of_addr.insert(addr, client);
                 let mut actions = Vec::new();
                 self.core.client_attach(
                     now,
@@ -218,7 +333,14 @@ impl UdpOverlayNode {
             NodeCommand::ClientDetach { client } => {
                 let mut actions = Vec::new();
                 self.core.client_detach(now, client, &mut actions);
-                self.clients.remove(&client);
+                if let Some(addr) = self.clients.remove(&client) {
+                    if self.client_of_addr.get(&addr) == Some(&client) {
+                        self.client_of_addr.remove(&addr);
+                    }
+                }
+                // The core dropped the client's pacer; its armed poll
+                // timer must not fire against the stale key.
+                self.cancel_timer(TimerKind::PacerPoll(Subscriber::Client(client)).encode());
                 self.apply(actions).await;
             }
             NodeCommand::Shutdown => {}
@@ -226,6 +348,9 @@ impl UdpOverlayNode {
     }
 
     async fn apply(&mut self, actions: Vec<NodeAction>) {
+        let mut tx_datagrams = 0u64;
+        let mut tx_bytes = 0u64;
+        let mut send_errors = 0u64;
         for action in actions {
             match action {
                 NodeAction::Send { to, msg } => {
@@ -235,16 +360,42 @@ impl UdpOverlayNode {
                     };
                     if let Some(addr) = dest {
                         // Best-effort, like the fast path demands.
-                        let _ = self.socket.send_to(&msg.encode(), addr).await;
+                        let wire = msg.encode();
+                        match self.socket.send_to(&wire, addr).await {
+                            Ok(_) => {
+                                tx_datagrams += 1;
+                                tx_bytes += wire.len() as u64;
+                            }
+                            Err(_) => send_errors += 1,
+                        }
                     }
                 }
                 NodeAction::SetTimer { at, key } => {
-                    self.timers.push(Reverse((at, key)));
+                    let gen = self.timer_gen.get(&key).copied().unwrap_or(0);
+                    self.timers.push(Reverse((at, key, gen)));
                 }
                 NodeAction::Event(e) => {
                     let _ = self.events_tx.send((self.clock.now(), e));
                 }
             }
         }
+        if tx_datagrams > 0 || send_errors > 0 {
+            self.telemetry.with(|h| {
+                h.add(ids::TRANSPORT_TX_DATAGRAMS, tx_datagrams);
+                h.add(ids::TRANSPORT_TX_BYTES, tx_bytes);
+                h.add(ids::TRANSPORT_SEND_ERRORS, send_errors);
+            });
+        }
+    }
+
+    /// Record the core's cumulative stats into the shared hub and hand the
+    /// core back (the join handle's return value).
+    fn finish(self) -> OverlayNode {
+        let core = self.core;
+        self.telemetry.with(|h| {
+            core.stats.record_into(h);
+            core.cc_decision_totals().record_into(h);
+        });
+        core
     }
 }

@@ -1,0 +1,512 @@
+//! The loopback harness: a complete LiveNet overlay on 127.0.0.1.
+//!
+//! Spawns the brain + N [`UdpOverlayNode`]s wired along a configured edge
+//! list, drives a `livenet-media` [`VideoEncoder`] at wall-clock pace
+//! through a `livenet-cc` [`Pacer`] (the broadcaster's uplink), and
+//! attaches real-socket viewers that decode RTP, reassemble frames, and
+//! send RTCP receiver reports + keepalives back — the client-sourced half
+//! of the datapath the emulator models with passive clients. Every node
+//! records into one [`SharedTelemetry`] hub, so a run ends with a single
+//! snapshot spanning the wire datapath and the node cores.
+//!
+//! This is the integration-test and `exp_wire` substrate; it measures the
+//! same quantities as the emulator's client model (startup delay, E2E
+//! delay via the RTP delay field, delivery completeness) on real sockets.
+
+use crate::brain::BrainHandle;
+use crate::clock::WallClock;
+use crate::node::{NodeCommand, NodeHandle, UdpOverlayNode};
+use crate::telemetry::SharedTelemetry;
+use bytes::Bytes;
+use livenet_brain::{BrainConfig, StreamingBrain};
+use livenet_cc::{PacedPacket, Pacer, PacerConfig, RateDecisionStats, SendPriority};
+use livenet_media::{EncodedFrame, FrameKind, GopConfig, VideoEncoder};
+use livenet_node::{NodeConfig, NodeStats, OverlayMsg};
+use livenet_packet::{Depacketizer, ReceiverReport, RtcpPacket, RtpPacket};
+use livenet_telemetry::{ids, MetricSink, Snapshot};
+use livenet_topology::{LinkMetrics, NodeInfo, Topology};
+use livenet_types::{Bandwidth, ClientId, NodeId, SimDuration, StreamId};
+use std::net::SocketAddr;
+use std::time::Duration;
+use tokio::net::UdpSocket;
+
+/// One real-socket viewer in the harness.
+#[derive(Debug, Clone)]
+pub struct WireViewer {
+    /// Index (into the harness node list) of the consumer node.
+    pub node: usize,
+    /// Downlink estimate passed to `ClientAttach`.
+    pub downlink: Option<Bandwidth>,
+    /// When set, receiver reports sent after the given wall-clock offset
+    /// claim this loss fraction — a synthetic congestion signal used to
+    /// demonstrate client feedback driving the sender-side cc loop.
+    pub lossy_rr: Option<(Duration, f64)>,
+}
+
+impl WireViewer {
+    /// A well-behaved viewer at `node`.
+    pub fn at(node: usize) -> Self {
+        WireViewer {
+            node,
+            downlink: Some(Bandwidth::from_mbps(50)),
+            lossy_rr: None,
+        }
+    }
+}
+
+/// Harness configuration: topology, media source, viewers, run length.
+#[derive(Debug, Clone)]
+pub struct TestbedConfig {
+    /// The broadcast stream.
+    pub stream: StreamId,
+    /// Number of overlay nodes (ids are assigned 1..=nodes).
+    pub nodes: usize,
+    /// Duplex overlay edges as `(a, b, rtt)` node-index pairs.
+    pub edges: Vec<(usize, usize, SimDuration)>,
+    /// Index of the producer (broadcaster ingest) node.
+    pub producer: usize,
+    /// The viewers.
+    pub viewers: Vec<WireViewer>,
+    /// Video bitrate of the source.
+    pub bitrate: Bandwidth,
+    /// GoP shape of the source.
+    pub gop: GopConfig,
+    /// Wall-clock broadcast length.
+    pub broadcast: Duration,
+    /// Broadcaster uplink pacing rate (should exceed `bitrate`; I-frame
+    /// bursts are smoothed at this rate).
+    pub uplink: Bandwidth,
+    /// Viewer receiver-report cadence.
+    pub rr_interval: Duration,
+    /// Extra wall-clock time viewers keep draining after the broadcast.
+    pub drain: Duration,
+}
+
+impl TestbedConfig {
+    /// The acceptance topology: a 4-node diamond 0→{1,2}→3 with the
+    /// producer at 0 and two viewers at 3.
+    pub fn diamond(stream: StreamId) -> Self {
+        let ms = SimDuration::from_millis;
+        TestbedConfig {
+            stream,
+            nodes: 4,
+            edges: vec![
+                (0, 1, ms(8)),
+                (0, 2, ms(12)),
+                (1, 3, ms(8)),
+                (2, 3, ms(12)),
+            ],
+            producer: 0,
+            viewers: vec![WireViewer::at(3), WireViewer::at(3)],
+            bitrate: Bandwidth::from_mbps(1),
+            gop: GopConfig::default(),
+            broadcast: Duration::from_secs(3),
+            uplink: Bandwidth::from_mbps(8),
+            rr_interval: Duration::from_millis(400),
+            drain: Duration::from_millis(900),
+        }
+    }
+}
+
+/// What one viewer saw.
+#[derive(Debug, Clone)]
+pub struct ViewerReport {
+    /// The client id used on the wire.
+    pub client: ClientId,
+    /// The consumer node the viewer attached to.
+    pub node: NodeId,
+    /// RTP packets received (including retransmissions).
+    pub packets: u64,
+    /// Frames fully reassembled.
+    pub frames_completed: u64,
+    /// Attach → first RTP packet, ms.
+    pub first_packet_ms: Option<f64>,
+    /// Attach → first complete frame, ms (the startup delay).
+    pub startup_ms: Option<f64>,
+    /// Mean end-to-end delay over frames carrying the RTP delay field, ms.
+    pub mean_e2e_ms: Option<f64>,
+    /// Max end-to-end delay, ms.
+    pub max_e2e_ms: Option<f64>,
+    /// Receiver reports sent.
+    pub rr_sent: u64,
+    /// Keepalives sent.
+    pub keepalives_sent: u64,
+}
+
+/// The outcome of one loopback run.
+#[derive(Debug)]
+pub struct WireRunReport {
+    /// Frames the broadcaster ingested at the producer.
+    pub frames_broadcast: u64,
+    /// Per-viewer delivery and latency figures.
+    pub viewers: Vec<ViewerReport>,
+    /// Final pacing rate toward each client, from the consumer core.
+    pub client_rates: Vec<(ClientId, Option<Bandwidth>)>,
+    /// Per-node cumulative core stats.
+    pub node_stats: Vec<(NodeId, NodeStats)>,
+    /// Sender-side cc decision totals summed over every node core.
+    pub cc: RateDecisionStats,
+    /// Snapshot of the shared hub (transport counters, spans, core stats).
+    pub telemetry: Snapshot,
+}
+
+impl WireRunReport {
+    /// Fraction of broadcast frames the worst-off viewer completed.
+    pub fn worst_delivery(&self) -> f64 {
+        if self.frames_broadcast == 0 {
+            return 0.0;
+        }
+        self.viewers
+            .iter()
+            .map(|v| v.frames_completed as f64 / self.frames_broadcast as f64)
+            .fold(f64::INFINITY, f64::min)
+            .min(1.0)
+    }
+}
+
+fn local() -> SocketAddr {
+    "127.0.0.1:0".parse().expect("loopback addr")
+}
+
+/// Run one full loopback overlay session and report what happened.
+///
+/// Panics on harness-level failures (bind errors, a node dying mid-run):
+/// the callers are tests and bench bins, where aborting loudly is right.
+pub async fn run(cfg: TestbedConfig) -> WireRunReport {
+    assert!(cfg.producer < cfg.nodes, "producer index in range");
+    let clock = WallClock::new();
+    let telemetry = SharedTelemetry::new();
+    let ids_v: Vec<NodeId> = (0..cfg.nodes).map(|i| NodeId::new(i as u64 + 1)).collect();
+
+    // Brain: the same Topology/StreamingBrain the emulator uses, fed the
+    // harness edge list.
+    let mut topo = Topology::new();
+    for &id in &ids_v {
+        topo.upsert_node(NodeInfo {
+            id,
+            country: 0,
+            capacity: Bandwidth::from_gbps(10),
+            utilization: 0.1,
+            last_resort: false,
+            well_peered: true,
+        });
+    }
+    for &(a, b, rtt) in &cfg.edges {
+        topo.upsert_duplex(ids_v[a], ids_v[b], LinkMetrics::healthy(rtt, Bandwidth::from_gbps(10)))
+            .expect("edge endpoints were upserted above");
+    }
+    let brain = BrainHandle::new(StreamingBrain::new(topo, BrainConfig::default()));
+    brain.register_stream(cfg.stream, ids_v[cfg.producer]);
+
+    // Overlay nodes, all recording into one hub.
+    let mut handles: Vec<NodeHandle> = Vec::new();
+    let mut joins = Vec::new();
+    for &id in &ids_v {
+        let (h, _events, join) = UdpOverlayNode::spawn_with_telemetry(
+            NodeConfig::new(id),
+            local(),
+            clock,
+            telemetry.clone(),
+        )
+        .await
+        .expect("bind overlay node");
+        handles.push(h);
+        joins.push(join);
+    }
+    for &(a, b, rtt) in &cfg.edges {
+        for (x, y) in [(a, b), (b, a)] {
+            handles[x]
+                .send(NodeCommand::AddPeer {
+                    node: handles[y].id,
+                    addr: handles[y].addr,
+                    rtt,
+                })
+                .await
+                .expect("node alive during wiring");
+        }
+    }
+    handles[cfg.producer]
+        .send(NodeCommand::RegisterProducer {
+            stream: cfg.stream,
+            ladder: None,
+        })
+        .await
+        .expect("producer alive");
+
+    // Viewers: attach (with a brain-computed path when remote) and spawn
+    // the socket-reading task.
+    let mut viewer_joins = Vec::new();
+    let mut viewer_meta: Vec<(ClientId, usize)> = Vec::new();
+    for (vi, spec) in cfg.viewers.iter().enumerate() {
+        assert!(spec.node < cfg.nodes, "viewer node index in range");
+        let client = ClientId::new(vi as u64 + 1);
+        let sock = UdpSocket::bind(local()).await.expect("bind viewer socket");
+        let addr = sock.local_addr().expect("viewer addr");
+        let path = if spec.node == cfg.producer {
+            None
+        } else {
+            let assign = brain
+                .path_request(cfg.stream, ids_v[spec.node], clock.now())
+                .expect("brain finds a path in the configured topology");
+            Some(assign.paths[0].nodes.clone())
+        };
+        handles[spec.node]
+            .send(NodeCommand::ClientAttach {
+                client,
+                stream: cfg.stream,
+                downlink: spec.downlink,
+                path,
+                addr,
+            })
+            .await
+            .expect("consumer alive");
+        let node_addr = handles[spec.node].addr;
+        let node_id = handles[spec.node].id;
+        let deadline = tokio::time::Instant::now() + cfg.broadcast + cfg.drain;
+        let task = viewer_task(
+            sock,
+            node_addr,
+            node_id,
+            client,
+            cfg.stream,
+            clock,
+            deadline,
+            cfg.rr_interval,
+            spec.lossy_rr,
+        );
+        viewer_joins.push(tokio::spawn(task));
+        viewer_meta.push((client, spec.node));
+    }
+
+    // Let the reverse-path subscriptions establish before media flows.
+    tokio::time::sleep(Duration::from_millis(150)).await;
+
+    // Broadcaster: encode at wall-clock pace, smooth the uplink through
+    // the cc pacer, ingest whatever the pacer releases.
+    let frames_broadcast = broadcast(&cfg, clock, &handles[cfg.producer]).await;
+
+    // Harvest viewers (they stop at their deadline), then the nodes.
+    let mut viewers = Vec::new();
+    for join in viewer_joins {
+        viewers.push(join.await.expect("viewer task"));
+    }
+    for h in &handles {
+        h.send(NodeCommand::Shutdown).await.expect("node alive at shutdown");
+    }
+    let mut cores = Vec::new();
+    for join in joins {
+        cores.push(join.await.expect("node join"));
+    }
+
+    // Stage telemetry on the shared hub: the same ids the emulator's
+    // client model records, now measured over real sockets.
+    telemetry.with(|h| {
+        for v in &viewers {
+            if let Some(ms) = v.first_packet_ms {
+                h.observe(ids::STAGE_FIRST_PACKET_MS, ms);
+            }
+            if let Some(ms) = v.startup_ms {
+                h.observe(ids::STAGE_STARTUP_MS, ms);
+            }
+            if let Some(ms) = v.mean_e2e_ms {
+                h.observe(ids::STAGE_STREAMING_MS, ms);
+            }
+        }
+    });
+
+    let client_rates = viewer_meta
+        .iter()
+        .map(|&(client, node_idx)| {
+            let core = cores
+                .iter()
+                .find(|c| c.id() == ids_v[node_idx])
+                .expect("core for viewer node");
+            (client, core.client_pacing_rate(client))
+        })
+        .collect();
+    let mut cc = RateDecisionStats::default();
+    for core in &cores {
+        let t = core.cc_decision_totals();
+        cc.increases += t.increases;
+        cc.holds += t.holds;
+        cc.decreases += t.decreases;
+    }
+    let node_stats = cores.iter().map(|c| (c.id(), c.stats)).collect();
+
+    WireRunReport {
+        frames_broadcast,
+        viewers,
+        client_rates,
+        node_stats,
+        cc,
+        telemetry: telemetry.snapshot(),
+    }
+}
+
+/// Drive the encoder through the pacer at wall-clock pace; returns the
+/// number of frames ingested at the producer.
+async fn broadcast(cfg: &TestbedConfig, clock: WallClock, producer: &NodeHandle) -> u64 {
+    let mut encoder = VideoEncoder::new(cfg.stream, cfg.gop, cfg.bitrate, clock.now());
+    let mut pacer: Pacer<(EncodedFrame, Bytes)> = Pacer::new(PacerConfig::default(), cfg.uplink);
+    let interval = Duration::from_nanos(cfg.gop.frame_interval().as_nanos());
+    let total = (cfg.broadcast.as_nanos() / interval.as_nanos()).max(1) as u64;
+    let mut ingested = 0u64;
+    for _ in 0..total {
+        let frame = encoder.next_frame();
+        let payload = Bytes::from(vec![0u8; frame.size_bytes as usize]);
+        pacer.enqueue(PacedPacket {
+            priority: SendPriority::Video,
+            bytes: frame.size_bytes as usize,
+            is_iframe: frame.kind == FrameKind::I,
+            payload: (frame, payload),
+        });
+        ingested += drain_pacer(&mut pacer, clock, producer).await;
+        tokio::time::sleep(interval).await;
+    }
+    // Flush the tail the token bucket is still holding.
+    let flush_deadline = tokio::time::Instant::now() + Duration::from_millis(500);
+    while pacer.is_backlogged() && tokio::time::Instant::now() < flush_deadline {
+        ingested += drain_pacer(&mut pacer, clock, producer).await;
+        tokio::time::sleep(Duration::from_millis(5)).await;
+    }
+    ingested
+}
+
+async fn drain_pacer(
+    pacer: &mut Pacer<(EncodedFrame, Bytes)>,
+    clock: WallClock,
+    producer: &NodeHandle,
+) -> u64 {
+    let released = pacer.poll(clock.now());
+    let mut n = 0u64;
+    for paced in released {
+        let (frame, payload) = paced.payload;
+        producer
+            .send(NodeCommand::Ingest { frame, payload })
+            .await
+            .expect("producer alive during broadcast");
+        n += 1;
+    }
+    n
+}
+
+/// One viewer: read RTP off the socket, reassemble frames, feed RTCP
+/// receiver reports and keepalives back to the consumer node.
+#[allow(clippy::too_many_arguments)]
+async fn viewer_task(
+    sock: UdpSocket,
+    node_addr: SocketAddr,
+    node_id: NodeId,
+    client: ClientId,
+    stream: StreamId,
+    clock: WallClock,
+    deadline: tokio::time::Instant,
+    rr_interval: Duration,
+    lossy_rr: Option<(Duration, f64)>,
+) -> ViewerReport {
+    let attach_at = clock.now();
+    let started = tokio::time::Instant::now();
+    let mut depack = Depacketizer::new();
+    let mut buf = vec![0u8; 64 * 1024];
+    let mut report = ViewerReport {
+        client,
+        node: node_id,
+        packets: 0,
+        frames_completed: 0,
+        first_packet_ms: None,
+        startup_ms: None,
+        mean_e2e_ms: None,
+        max_e2e_ms: None,
+        rr_sent: 0,
+        keepalives_sent: 0,
+    };
+    let mut e2e_ms: Vec<f64> = Vec::new();
+    // Loss accounting for honest receiver reports (loopback: ~0).
+    let mut last_rtp: Option<RtpPacket> = None;
+    let mut window_received = 0u64;
+    let mut window_first_seq: Option<u16> = None;
+    let mut last_rr = tokio::time::Instant::now();
+    let mut last_keepalive = tokio::time::Instant::now();
+
+    loop {
+        let now_i = tokio::time::Instant::now();
+        if now_i >= deadline {
+            break;
+        }
+        let slice = Duration::from_millis(50).min(deadline - now_i);
+        if let Ok(Ok((len, _src))) = tokio::time::timeout(slice, sock.recv_from(&mut buf)).await {
+            let Ok(msg) = OverlayMsg::decode(Bytes::copy_from_slice(&buf[..len])) else {
+                continue;
+            };
+            if let OverlayMsg::Rtp { packet, .. } = msg {
+                let Ok(rtp) = RtpPacket::decode(packet) else {
+                    continue;
+                };
+                report.packets += 1;
+                if report.first_packet_ms.is_none() {
+                    report.first_packet_ms =
+                        Some(clock.now().saturating_since(attach_at).as_millis_f64());
+                }
+                window_received += 1;
+                window_first_seq.get_or_insert(rtp.header.seq.0);
+                last_rtp = Some(rtp.clone());
+                depack.push(rtp);
+                for frame in depack.drain() {
+                    report.frames_completed += 1;
+                    if report.startup_ms.is_none() {
+                        report.startup_ms =
+                            Some(clock.now().saturating_since(attach_at).as_millis_f64());
+                    }
+                    if let Some(d) = frame.delay_field {
+                        e2e_ms.push(d.as_millis_f64());
+                    }
+                }
+                depack.gc(8);
+            }
+        }
+
+        // Feedback: honest (or synthetically lossy) RRs at the configured
+        // cadence, keepalives in between.
+        if last_rr.elapsed() >= rr_interval {
+            if let Some(rtp) = &last_rtp {
+                let measured = match window_first_seq {
+                    Some(first) => {
+                        let expected =
+                            u64::from(rtp.header.seq.0.wrapping_sub(first)) + 1;
+                        1.0 - (window_received as f64 / expected as f64).min(1.0)
+                    }
+                    None => 0.0,
+                };
+                let loss_fraction = match lossy_rr {
+                    Some((after, loss)) if started.elapsed() >= after => loss,
+                    _ => measured,
+                };
+                let rr = RtcpPacket::ReceiverReport(ReceiverReport {
+                    ssrc: rtp.header.ssrc,
+                    loss_fraction,
+                    highest_seq: rtp.header.seq,
+                    jitter_us: 0,
+                });
+                let msg = OverlayMsg::Rtcp {
+                    stream,
+                    packet: rr.encode(),
+                };
+                let _ = sock.send_to(&msg.encode(), node_addr).await;
+                report.rr_sent += 1;
+                last_rr = tokio::time::Instant::now();
+                window_received = 0;
+                window_first_seq = None;
+            }
+        } else if last_keepalive.elapsed() >= rr_interval / 2 {
+            let _ = sock.send_to(&OverlayMsg::Keepalive.encode(), node_addr).await;
+            report.keepalives_sent += 1;
+            last_keepalive = tokio::time::Instant::now();
+        }
+    }
+
+    if !e2e_ms.is_empty() {
+        report.mean_e2e_ms = Some(e2e_ms.iter().sum::<f64>() / e2e_ms.len() as f64);
+        report.max_e2e_ms = e2e_ms.iter().copied().reduce(f64::max);
+    }
+    report
+}

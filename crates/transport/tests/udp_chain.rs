@@ -41,7 +41,8 @@ async fn frames_flow_over_real_udp_chain() {
                         addr: handles[b].addr,
                         rtt: SimDuration::from_millis(1),
                     })
-                    .await;
+                    .await
+            .expect("node alive");
             }
         }
     }
@@ -51,7 +52,8 @@ async fn frames_flow_over_real_udp_chain() {
             stream: STREAM,
             ladder: None,
         })
-        .await;
+        .await
+            .expect("node alive");
 
     // A client socket attached at C.
     let client_sock = UdpSocket::bind(local()).await.expect("client bind");
@@ -64,7 +66,8 @@ async fn frames_flow_over_real_udp_chain() {
             path: Some(vec![ids[0], ids[1], ids[2]]),
             addr: client_addr,
         })
-        .await;
+        .await
+        .expect("node alive");
 
     // Give the subscription a moment to establish over loopback.
     tokio::time::sleep(std::time::Duration::from_millis(150)).await;
@@ -109,7 +112,8 @@ async fn frames_flow_over_real_udp_chain() {
         let payload = Bytes::from(vec![0u8; frame.size_bytes as usize]);
         handles[0]
             .send(NodeCommand::Ingest { frame, payload })
-            .await;
+            .await
+            .expect("node alive");
         tokio::time::sleep(std::time::Duration::from_millis(66)).await;
     }
 
@@ -126,7 +130,8 @@ async fn frames_flow_over_real_udp_chain() {
     assert!(established, "C never confirmed its upstream subscription");
 
     for h in &handles {
-        h.send(NodeCommand::Shutdown).await;
+        h.send(NodeCommand::Shutdown).await
+            .expect("node alive");
     }
     for (i, j) in joins.into_iter().enumerate() {
         let core = j.await.expect("join");
@@ -161,14 +166,16 @@ async fn second_viewer_gets_local_hit_over_udp() {
                 addr: handles[b].addr,
                 rtt: SimDuration::from_millis(1),
             })
-            .await;
+            .await
+            .expect("node alive");
     }
     handles[0]
         .send(NodeCommand::RegisterProducer {
             stream: STREAM,
             ladder: None,
         })
-        .await;
+        .await
+            .expect("node alive");
 
     let c1 = UdpSocket::bind(local()).await.expect("bind");
     handles[1]
@@ -179,7 +186,8 @@ async fn second_viewer_gets_local_hit_over_udp() {
             path: Some(vec![ids[0], ids[1]]),
             addr: c1.local_addr().expect("addr"),
         })
-        .await;
+        .await
+        .expect("node alive");
     tokio::time::sleep(std::time::Duration::from_millis(100)).await;
 
     // Stream a GoP so B's cache fills.
@@ -194,7 +202,8 @@ async fn second_viewer_gets_local_hit_over_udp() {
         let payload = Bytes::from(vec![0u8; frame.size_bytes as usize]);
         handles[0]
             .send(NodeCommand::Ingest { frame, payload })
-            .await;
+            .await
+            .expect("node alive");
         tokio::time::sleep(std::time::Duration::from_millis(20)).await;
     }
 
@@ -208,7 +217,8 @@ async fn second_viewer_gets_local_hit_over_udp() {
             path: None,
             addr: c2.local_addr().expect("addr"),
         })
-        .await;
+        .await
+        .expect("node alive");
     tokio::time::sleep(std::time::Duration::from_millis(300)).await;
 
     let (mut hit, mut burst) = (false, false);
@@ -232,6 +242,7 @@ async fn second_viewer_gets_local_hit_over_udp() {
     assert!(got.is_ok(), "client 2 received nothing");
 
     for h in &handles {
-        h.send(NodeCommand::Shutdown).await;
+        h.send(NodeCommand::Shutdown).await
+            .expect("node alive");
     }
 }

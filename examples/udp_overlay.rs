@@ -37,7 +37,8 @@ async fn main() -> std::io::Result<()> {
                         addr: handles[j].addr,
                         rtt: SimDuration::from_millis(1),
                     })
-                    .await;
+                    .await
+            .expect("node alive");
             }
         }
     }
@@ -46,7 +47,8 @@ async fn main() -> std::io::Result<()> {
             stream,
             ladder: Some(SimulcastLadder::taobao_default(stream)),
         })
-        .await;
+        .await
+        .expect("node alive");
 
     // A real client socket subscribes at node 3 via the path A→B→C.
     let client_sock = UdpSocket::bind("127.0.0.1:0").await?;
@@ -59,7 +61,8 @@ async fn main() -> std::io::Result<()> {
             path: Some(ids.to_vec()),
             addr: client_sock.local_addr()?,
         })
-        .await;
+        .await
+        .expect("node alive");
 
     // Reader task: reassemble frames from the raw datagrams.
     let reader = tokio::spawn(async move {
@@ -95,14 +98,16 @@ async fn main() -> std::io::Result<()> {
     for _ in 0..30 {
         let frame = encoder.next_frame();
         let payload = Bytes::from(vec![0u8; frame.size_bytes as usize]);
-        handles[0].send(NodeCommand::Ingest { frame, payload }).await;
+        handles[0].send(NodeCommand::Ingest { frame, payload }).await
+            .expect("node alive");
         tokio::time::sleep(std::time::Duration::from_millis(66)).await;
     }
 
     let (packets, frames) = reader.await.expect("reader");
     println!("client received {packets} RTP datagrams, reassembled {frames} frames");
     for h in &handles {
-        h.send(NodeCommand::Shutdown).await;
+        h.send(NodeCommand::Shutdown).await
+            .expect("node alive");
     }
     Ok(())
 }
