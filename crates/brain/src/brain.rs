@@ -68,23 +68,12 @@ impl StreamingBrain {
         &self.topology
     }
 
-    /// Mutable topology access — used by simulations that own ground truth
-    /// (e.g. scaling capacity up for the Double-12 festival, §6.5).
-    #[deprecated(
-        since = "0.1.0",
-        note = "leaks mutable internals and leaves the PIB stale; use \
-                `update_topology`, which re-validates routing state on exit"
-    )]
-    pub fn topology_mut(&mut self) -> &mut Topology {
-        &mut self.topology
-    }
-
     /// Scoped mutation of the Brain's working topology.
     ///
     /// Runs `f` against the topology, then invalidates the routing state
     /// derived from the old topology by recomputing the PIB in place (at
     /// the last recompute's timestamp, so the 10-minute periodic schedule
-    /// is unaffected). This replaces the deprecated [`Self::topology_mut`],
+    /// is unaffected). This replaces the removed `topology_mut` accessor,
     /// which let callers edit links/nodes while stale paths kept serving.
     pub fn update_topology<R>(&mut self, f: impl FnOnce(&mut Topology) -> R) -> R {
         let out = f(&mut self.topology);

@@ -15,6 +15,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
+pub mod op;
 pub mod paxos;
 
+pub use cluster::{BrainCluster, ClusterAudit, ClusterConfig, ClusterStats};
+pub use op::BrainOp;
 pub use paxos::{Ballot, Outbound, PaxosMsg, Replica, ReplicaId, Value};

@@ -1,0 +1,400 @@
+//! The fleet's control plane: a single in-process Brain or a
+//! Paxos-replicated [`BrainCluster`].
+//!
+//! [`ControlPlane`] is the one surface [`crate::FleetSim`] talks to.  In
+//! `Single` mode it delegates straight to a [`StreamingBrain`], preserving
+//! the pre-replication behavior (and RNG draw sequence) bit-for-bit.  In
+//! `Replicated` mode every PIB/SIB mutation is serialized as a
+//! [`BrainOp`] through the Paxos log and every non-prefetched path request
+//! is a leader read under the lease — so the fleet exercises the paper's
+//! §7.1 deployment: geo-replicated Brains, leader failover, and client
+//! retry/redirect when the leader dies mid-surge.
+//!
+//! Each shard owns an independent cluster seeded from the workload seed
+//! and the shard index alone, so serial and parallel executions of the
+//! same partition remain bit-identical.
+
+use livenet_brain::{BrainConfig, PathAssignment, StreamingBrain};
+use livenet_replication::{BrainCluster, BrainOp, ClusterConfig};
+use livenet_telemetry::MetricSink;
+use livenet_topology::{NodeReport, Topology};
+use livenet_types::{Error, NodeId, Result, SimDuration, SimTime, StreamId};
+
+/// Replicated-Brain deployment knobs, the sim-facing mirror of
+/// [`ClusterConfig`] (durations in milliseconds for config ergonomics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicationConfig {
+    /// Brain replicas (geo-replicated data centers).
+    pub replicas: u32,
+    /// One-way inter-replica delay, ms.
+    pub one_way_delay_ms: f64,
+    /// Multiplicative message-delay jitter (±fraction).
+    pub delay_jitter: f64,
+    /// Inter-replica message loss probability.
+    pub msg_loss: f64,
+    /// Leader lease duration, ms.
+    pub lease_ms: u64,
+    /// Renewal margin before lease expiry, ms.
+    pub renew_margin_ms: u64,
+    /// Per-rank election backoff after lease expiry, ms.
+    pub takeover_backoff_ms: u64,
+    /// Client retry timeout, ms.
+    pub client_timeout_ms: u64,
+    /// Client attempts before giving up.
+    pub max_attempts: u32,
+}
+
+impl Default for ReplicationConfig {
+    fn default() -> Self {
+        ReplicationConfig {
+            replicas: 3,
+            one_way_delay_ms: 15.0,
+            delay_jitter: 0.1,
+            msg_loss: 0.01,
+            lease_ms: 3000,
+            renew_margin_ms: 1000,
+            takeover_backoff_ms: 150,
+            client_timeout_ms: 250,
+            max_attempts: 40,
+        }
+    }
+}
+
+impl ReplicationConfig {
+    /// Basic sanity checks, surfaced through [`crate::FleetConfig::validate`].
+    pub fn validate(&self) -> Result<()> {
+        if self.replicas == 0 {
+            return Err(Error::invalid_config("replication.replicas must be > 0"));
+        }
+        if !(0.0..1.0).contains(&self.msg_loss) {
+            return Err(Error::invalid_config(
+                "replication.msg_loss must be in [0, 1)",
+            ));
+        }
+        if !(0.0..1.0).contains(&self.delay_jitter) {
+            return Err(Error::invalid_config(
+                "replication.delay_jitter must be in [0, 1)",
+            ));
+        }
+        if self.lease_ms == 0 || self.client_timeout_ms == 0 {
+            return Err(Error::invalid_config(
+                "replication lease/client timeouts must be > 0",
+            ));
+        }
+        if self.renew_margin_ms >= self.lease_ms {
+            return Err(Error::invalid_config(
+                "replication.renew_margin_ms must be < lease_ms",
+            ));
+        }
+        Ok(())
+    }
+
+    fn to_cluster(&self, seed: u64) -> ClusterConfig {
+        ClusterConfig {
+            replicas: self.replicas,
+            one_way_delay: SimDuration::from_millis_f64(self.one_way_delay_ms),
+            delay_jitter: self.delay_jitter,
+            msg_loss: self.msg_loss,
+            lease: SimDuration::from_millis(self.lease_ms),
+            renew_margin: SimDuration::from_millis(self.renew_margin_ms),
+            takeover_backoff: SimDuration::from_millis(self.takeover_backoff_ms),
+            client_timeout: SimDuration::from_millis(self.client_timeout_ms),
+            max_attempts: self.max_attempts,
+            seed,
+        }
+    }
+}
+
+/// Replicated-control-plane outcomes of one fleet run, merged across
+/// shards and compared bit-exactly by [`crate::FleetReport::bit_identical`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReplicationSummary {
+    /// Replicas per shard cluster.
+    pub replicas: u32,
+    /// State (non-lease) decrees chosen.
+    pub ops_committed: u64,
+    /// Lease decrees that moved leadership (incl. initial elections).
+    pub lease_grants: u64,
+    /// Lease decrees renewing incumbents.
+    pub lease_renewals: u64,
+    /// Leader crashes injected.
+    pub leader_crashes: u64,
+    /// Crashed replicas restarted.
+    pub restarts: u64,
+    /// Client retries (leader waits, ballot timeouts).
+    pub client_retries: u64,
+    /// Client leader redirects.
+    pub redirects: u64,
+    /// Client operations abandoned.
+    pub give_ups: u64,
+    /// Inter-replica messages sent.
+    pub msgs_sent: u64,
+    /// Inter-replica messages dropped.
+    pub msgs_dropped: u64,
+    /// Canonical chosen-log length (summed across shard clusters).
+    pub decided_slots: u64,
+    /// Slots where a replica's decided value diverged from the canon —
+    /// any nonzero value is a safety violation.
+    pub log_divergences: u64,
+    /// Post-run sampled `PathAssignment` mismatches across replicas.
+    pub assignment_mismatches: u64,
+    /// Failover latencies (ms), shard-index order then crash order.
+    pub failover_ms: Vec<f64>,
+}
+
+impl ReplicationSummary {
+    /// Bit-exact equality (floats compared through their bit patterns).
+    pub fn bit_identical(&self, other: &ReplicationSummary) -> bool {
+        self.replicas == other.replicas
+            && self.ops_committed == other.ops_committed
+            && self.lease_grants == other.lease_grants
+            && self.lease_renewals == other.lease_renewals
+            && self.leader_crashes == other.leader_crashes
+            && self.restarts == other.restarts
+            && self.client_retries == other.client_retries
+            && self.redirects == other.redirects
+            && self.give_ups == other.give_ups
+            && self.msgs_sent == other.msgs_sent
+            && self.msgs_dropped == other.msgs_dropped
+            && self.decided_slots == other.decided_slots
+            && self.log_divergences == other.log_divergences
+            && self.assignment_mismatches == other.assignment_mismatches
+            && self.failover_ms.len() == other.failover_ms.len()
+            && self
+                .failover_ms
+                .iter()
+                .map(|f| f.to_bits())
+                .eq(other.failover_ms.iter().map(|f| f.to_bits()))
+    }
+
+    /// Accumulate another shard's summary (shard-index order).
+    pub fn absorb(&mut self, other: &ReplicationSummary) {
+        self.replicas = self.replicas.max(other.replicas);
+        self.ops_committed += other.ops_committed;
+        self.lease_grants += other.lease_grants;
+        self.lease_renewals += other.lease_renewals;
+        self.leader_crashes += other.leader_crashes;
+        self.restarts += other.restarts;
+        self.client_retries += other.client_retries;
+        self.redirects += other.redirects;
+        self.give_ups += other.give_ups;
+        self.msgs_sent += other.msgs_sent;
+        self.msgs_dropped += other.msgs_dropped;
+        self.decided_slots += other.decided_slots;
+        self.log_divergences += other.log_divergences;
+        self.assignment_mismatches += other.assignment_mismatches;
+        self.failover_ms.extend_from_slice(&other.failover_ms);
+    }
+}
+
+/// The control plane the fleet drives: one Brain, or N behind Paxos.
+#[derive(Debug)]
+pub enum ControlPlane {
+    /// The pre-replication single in-process Brain.
+    Single(Box<StreamingBrain>),
+    /// A Paxos-replicated Brain cluster (paper §7.1).
+    Replicated(Box<BrainCluster>),
+}
+
+impl ControlPlane {
+    /// Build from the fleet config: replicated when `replication` is set.
+    ///
+    /// `seed` must be a pure function of the workload seed and shard
+    /// index, so serial and parallel executions agree.
+    pub fn new(
+        topology: &Topology,
+        brain_cfg: &BrainConfig,
+        replication: Option<&ReplicationConfig>,
+        seed: u64,
+    ) -> ControlPlane {
+        match replication {
+            None => ControlPlane::Single(Box::new(StreamingBrain::new(topology.clone(), brain_cfg.clone()))),
+            Some(r) => ControlPlane::Replicated(Box::new(BrainCluster::new(
+                topology,
+                brain_cfg,
+                r.to_cluster(seed),
+            ))),
+        }
+    }
+
+    /// Stream Management: a producer registered a new upload.
+    pub fn register_stream(&mut self, stream: StreamId, producer: NodeId, now: SimTime) {
+        match self {
+            ControlPlane::Single(b) => b.register_stream(stream, producer),
+            ControlPlane::Replicated(c) => {
+                let _ = c.replicate(&BrainOp::RegisterStream { stream, producer }, now);
+            }
+        }
+    }
+
+    /// Mark a stream popular (prefetch set member).
+    pub fn mark_popular(&mut self, stream: StreamId, now: SimTime) {
+        match self {
+            ControlPlane::Single(b) => b.mark_popular(stream),
+            ControlPlane::Replicated(c) => {
+                let _ = c.replicate(&BrainOp::MarkPopular { stream }, now);
+            }
+        }
+    }
+
+    /// Stream Management: a stream ended.
+    pub fn unregister_stream(&mut self, stream: StreamId, now: SimTime) {
+        match self {
+            ControlPlane::Single(b) => b.unregister_stream(stream),
+            ControlPlane::Replicated(c) => {
+                let _ = c.replicate(&BrainOp::UnregisterStream { stream }, now);
+            }
+        }
+    }
+
+    /// Serve a path request.  Returns the assignment plus, in replicated
+    /// mode, the measured control-plane latency in ms (`None` in single
+    /// mode, where the fleet applies its legacy RTT model; prefetched
+    /// requests are free in both modes).
+    pub fn path_request(
+        &mut self,
+        stream: StreamId,
+        consumer: NodeId,
+        now: SimTime,
+        prefetched: bool,
+    ) -> Result<(PathAssignment, Option<f64>)> {
+        match self {
+            ControlPlane::Single(b) => b.path_request(stream, consumer, now).map(|a| (a, None)),
+            ControlPlane::Replicated(c) => c
+                .path_request(stream, consumer, now, prefetched)
+                .map(|(a, ms)| (a, Some(ms))),
+        }
+    }
+
+    /// Broadcaster mobility: re-home a stream to a new producer.
+    pub fn rehome_producer(
+        &mut self,
+        stream: StreamId,
+        new_producer: NodeId,
+        now: SimTime,
+    ) -> Result<PathAssignment> {
+        match self {
+            ControlPlane::Single(b) => b.rehome_producer(stream, new_producer, now),
+            ControlPlane::Replicated(c) => {
+                let op = BrainOp::RehomeProducer {
+                    stream,
+                    new_producer,
+                    now,
+                };
+                let (_, assignment) = c.replicate(&op, now)?;
+                assignment
+                    .ok_or_else(|| Error::not_found(format!("no bridge path for {stream}")))
+            }
+        }
+    }
+
+    /// A node was observed dead.
+    pub fn node_failed(&mut self, node: NodeId, now: SimTime) {
+        match self {
+            ControlPlane::Single(b) => b.node_failed(node),
+            ControlPlane::Replicated(c) => {
+                let _ = c.replicate(&BrainOp::NodeFailed { node }, now);
+            }
+        }
+    }
+
+    /// A failed node came back.
+    pub fn node_recovered(&mut self, node: NodeId, now: SimTime) {
+        match self {
+            ControlPlane::Single(b) => b.node_recovered(node),
+            ControlPlane::Replicated(c) => {
+                let _ = c.replicate(&BrainOp::NodeRecovered { node }, now);
+            }
+        }
+    }
+
+    /// Streams currently produced on `node`.
+    pub fn streams_on(&mut self, node: NodeId) -> Vec<StreamId> {
+        match self {
+            ControlPlane::Single(b) => b.streams_on(node),
+            ControlPlane::Replicated(c) => c.streams_on(node),
+        }
+    }
+
+    /// Minute tick: absorb node reports and run the periodic recompute
+    /// check.  In replicated mode the whole batch is ONE decree — reports
+    /// are frequent, so batching keeps the log tractable (ROADMAP item 3's
+    /// "batched mutations" note).
+    pub fn minute_report(&mut self, reports: &[NodeReport], now: SimTime) {
+        match self {
+            ControlPlane::Single(b) => {
+                for r in reports {
+                    b.absorb_report(r);
+                }
+                b.maybe_recompute(now);
+            }
+            ControlPlane::Replicated(c) => {
+                let op = BrainOp::Reports {
+                    now,
+                    reports: reports.to_vec(),
+                };
+                let _ = c.replicate(&op, now);
+            }
+        }
+    }
+
+    /// Crash the Paxos leader (no-op for a single Brain — there is no
+    /// replica to lose; the fault still counts as injected).
+    pub fn crash_leader(&mut self, now: SimTime) {
+        if let ControlPlane::Replicated(c) = self {
+            c.crash_leader(now);
+        }
+    }
+
+    /// Restart the crashed leader replica (no-op for a single Brain).
+    pub fn restart_crashed(&mut self, now: SimTime) {
+        if let ControlPlane::Replicated(c) = self {
+            c.restart_crashed(now);
+        }
+    }
+
+    /// Completed PIB recompute rounds.
+    pub fn recompute_rounds(&self) -> u64 {
+        match self {
+            ControlPlane::Single(b) => b.recompute_rounds,
+            ControlPlane::Replicated(c) => c.recompute_rounds(),
+        }
+    }
+
+    /// Settle the cluster, audit replica consistency and summarize.
+    /// `None` in single mode.
+    pub fn finalize(&mut self, horizon: SimTime) -> Option<ReplicationSummary> {
+        match self {
+            ControlPlane::Single(_) => None,
+            ControlPlane::Replicated(c) => {
+                let audit = c.finalize(horizon);
+                let s = c.stats();
+                Some(ReplicationSummary {
+                    replicas: c.replicas(),
+                    ops_committed: s.state_ops_committed,
+                    lease_grants: s.lease_grants,
+                    lease_renewals: s.lease_renewals,
+                    leader_crashes: s.leader_crashes,
+                    restarts: s.restarts,
+                    client_retries: s.client_retries,
+                    redirects: s.client_redirects,
+                    give_ups: s.client_give_ups,
+                    msgs_sent: s.msgs_sent,
+                    msgs_dropped: s.msgs_dropped,
+                    decided_slots: audit.decided_slots,
+                    log_divergences: audit.log_divergences,
+                    assignment_mismatches: audit.assignment_mismatches,
+                    failover_ms: c.failover_ms().to_vec(),
+                })
+            }
+        }
+    }
+
+    /// Export control-plane lifetime counters into a metric sink.
+    pub fn record_telemetry(&self, sink: &mut impl MetricSink) {
+        match self {
+            ControlPlane::Single(b) => b.record_telemetry(sink),
+            ControlPlane::Replicated(c) => c.record_telemetry(sink),
+        }
+    }
+}

@@ -13,11 +13,13 @@
 //! Per-session delay/startup/stall metrics are composed from link state
 //! plus the packet-level-calibrated constants in [`crate::calibrate`]
 //! (DESIGN.md §4 explains the two-fidelity approach).
+//!
+//! [`StreamingBrain`]: livenet_brain::StreamingBrain
 
 use crate::calibrate::LatencyConstants;
+use crate::control::{ControlPlane, ReplicationConfig, ReplicationSummary};
 use crate::metrics::{record_session, DecisionOutcome, SessionRecord};
 use crate::workload::{SessionSpec, Workload, WorkloadConfig};
-use livenet_brain::StreamingBrain;
 use livenet_telemetry::{ids, MetricSink, Snapshot, TelemetryHub};
 use livenet_emu::EventQueue;
 use livenet_hier::{HierController, HierDelayModel, HierDelayParams, HierRoles};
@@ -63,6 +65,15 @@ pub enum FleetFault {
         /// Country index.
         country: u32,
     },
+    /// The replicated Brain's Paxos leader crashes (§7.1 failover drill).
+    /// Requires [`FleetConfig::replication`] to be enabled — a single
+    /// in-process Brain has no replica to lose.
+    BrainLeaderCrash {
+        /// Crash time, seconds into the run.
+        at_secs: u64,
+        /// Downtime before the replica restarts, in seconds.
+        down_for_secs: u64,
+    },
 }
 
 /// Fault schedule for a fleet run: scripted faults plus a seeded random
@@ -103,6 +114,10 @@ pub struct FleetConfig {
     pub bad_last_mile_fraction: f64,
     /// Streaming Brain configuration (routing K, hop limit, weight params).
     pub brain: livenet_brain::BrainConfig,
+    /// Replicated-Brain deployment: `Some` routes every control-plane
+    /// mutation through a Paxos-backed [`crate::ControlPlane`] cluster
+    /// (paper §7.1); `None` keeps the single in-process Brain.
+    pub replication: Option<ReplicationConfig>,
     /// Shards the workload is partitioned into for [`crate::FleetRunner`]
     /// runs (1 = unsharded). The shard *count* fixes the partition — and
     /// therefore the result bits — independently of how many worker
@@ -125,6 +140,7 @@ impl Default for FleetConfig {
             long_chain_switch_hops: 5,
             bad_last_mile_fraction: 0.05,
             brain: livenet_brain::BrainConfig::default(),
+            replication: None,
             shards: 1,
             faults: FaultPlanConfig::default(),
         }
@@ -230,14 +246,27 @@ impl FleetConfig {
                 "faults.random_outage_secs must be a non-empty (lo, hi) range",
             ));
         }
+        if let Some(r) = &self.replication {
+            r.validate()?;
+        }
         for f in &self.faults.scripted {
-            if let FleetFault::RegionOutage { country, .. } = f {
-                if *country >= self.geo.countries {
-                    return Err(Error::invalid_config(format!(
-                        "scripted region outage names country {country}, but only {} exist",
-                        self.geo.countries
-                    )));
+            match f {
+                FleetFault::RegionOutage { country, .. } => {
+                    if *country >= self.geo.countries {
+                        return Err(Error::invalid_config(format!(
+                            "scripted region outage names country {country}, but only {} exist",
+                            self.geo.countries
+                        )));
+                    }
                 }
+                FleetFault::BrainLeaderCrash { .. } => {
+                    if self.replication.is_none() {
+                        return Err(Error::invalid_config(
+                            "BrainLeaderCrash requires replication to be enabled",
+                        ));
+                    }
+                }
+                FleetFault::NodeOutage { .. } => {}
             }
         }
         Ok(())
@@ -340,6 +369,12 @@ impl FleetConfigBuilder {
         self
     }
 
+    /// Deploy the Brain as a Paxos-replicated cluster (paper §7.1).
+    pub fn replication(mut self, replication: ReplicationConfig) -> Self {
+        self.config.replication = Some(replication);
+        self
+    }
+
     /// Script a fleet-level fault.
     pub fn fault(mut self, fault: FleetFault) -> Self {
         self.config.faults.scripted.push(fault);
@@ -392,6 +427,8 @@ struct ResolvedFault {
     start: SimTime,
     end: SimTime,
     nodes: Vec<NodeId>,
+    /// Crash the replicated Brain's leader instead of data-plane nodes.
+    brain_crash: bool,
 }
 
 enum Ev {
@@ -452,6 +489,9 @@ pub struct FleetReport {
     /// Merged telemetry snapshot (counters, gauges, latency histograms)
     /// from the run's [`TelemetryHub`] — `fleet.*`, `stage.*`, `brain.*`.
     pub telemetry: Snapshot,
+    /// Replicated-control-plane summary (`None` when the run used the
+    /// single in-process Brain). Sharded runs sum the per-shard clusters.
+    pub replication: Option<ReplicationSummary>,
 }
 
 impl FleetReport {
@@ -478,6 +518,11 @@ impl FleetReport {
             && self.faults_injected == other.faults_injected
             && self.producers_rehomed == other.producers_rehomed
             && self.telemetry.bit_identical(&other.telemetry)
+            && match (&self.replication, &other.replication) {
+                (None, None) => true,
+                (Some(a), Some(b)) => a.bit_identical(b),
+                _ => false,
+            }
     }
 }
 
@@ -494,7 +539,7 @@ pub struct FleetSim {
     config: FleetConfig,
     topology: Topology, // ground truth (shared by both systems)
     edges_by_country: Vec<Vec<NodeId>>,
-    brain: StreamingBrain,
+    brain: ControlPlane,
     hier: HierController,
     hier_delay: HierDelayModel,
     workload: Workload,
@@ -556,7 +601,12 @@ impl FleetSim {
             }
         }
 
-        let brain = StreamingBrain::new(topology.clone(), config.brain.clone());
+        let brain = ControlPlane::new(
+            &topology,
+            &config.brain,
+            config.replication.as_ref(),
+            config.workload.seed,
+        );
         let roles = HierRoles::assign(&topology, 2);
         let hier = HierController::new(roles);
         let workload = Workload::new(config.workload.clone(), countries);
@@ -601,7 +651,7 @@ impl FleetSim {
         let routable: Vec<NodeId> = topology.routable_node_ids().collect();
         let mut faults: Vec<ResolvedFault> = Vec::new();
         for f in &config.faults.scripted {
-            let (at, dur, nodes) = match *f {
+            let (at, dur, nodes, brain_crash) = match *f {
                 FleetFault::NodeOutage {
                     at_secs,
                     down_for_secs,
@@ -610,6 +660,7 @@ impl FleetSim {
                     at_secs,
                     down_for_secs,
                     vec![routable[node_index % routable.len()]],
+                    false,
                 ),
                 FleetFault::RegionOutage {
                     at_secs,
@@ -619,12 +670,18 @@ impl FleetSim {
                     at_secs,
                     down_for_secs,
                     topology.nodes_in_country(country).collect(),
+                    false,
                 ),
+                FleetFault::BrainLeaderCrash {
+                    at_secs,
+                    down_for_secs,
+                } => (at_secs, down_for_secs, Vec::new(), true),
             };
             faults.push(ResolvedFault {
                 start: SimTime::from_secs(at),
                 end: SimTime::from_secs(at + dur.max(1)),
                 nodes,
+                brain_crash,
             });
         }
         if config.faults.random_outages_per_day > 0.0 {
@@ -646,6 +703,7 @@ impl FleetSim {
                         start: SimTime::from_secs(at),
                         end: SimTime::from_secs(at + dur.max(1)),
                         nodes: vec![node],
+                        brain_crash: false,
                     });
                 }
             }
@@ -711,6 +769,22 @@ impl FleetSim {
             plan.index as u64,
         );
         sim.rng = sim.rng.split(plan.index as u64);
+        // Each shard runs its own Brain cluster; the seed is a pure
+        // function of (workload seed, shard index) so serial and parallel
+        // executions of the same partition agree bit-for-bit.
+        if sim.config.replication.is_some() {
+            let seed = sim
+                .config
+                .workload
+                .seed
+                .wrapping_add((plan.index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            sim.brain = ControlPlane::new(
+                &sim.topology,
+                &sim.config.brain,
+                sim.config.replication.as_ref(),
+                seed,
+            );
+        }
         sim.scheduled = vec![false; sim.workload.channels.len()];
         for &c in &plan.channels {
             sim.scheduled[c] = true;
@@ -783,7 +857,11 @@ impl FleetSim {
         self.report.daily_unique_paths.truncate(days);
         self.report.hourly_loss.truncate(days * 24);
         self.day_path_log.truncate(days);
-        self.report.recompute_rounds = self.brain.recompute_rounds;
+        // Settle and audit the replicated control plane (no-op in single
+        // mode) BEFORE the telemetry export so the exported counters cover
+        // the post-settle cluster state.
+        self.report.replication = self.brain.finalize(horizon);
+        self.report.recompute_rounds = self.brain.recompute_rounds();
         self.brain.record_telemetry(&mut self.telemetry);
         self.report.telemetry = self.telemetry.snapshot();
         ShardOutput {
@@ -796,7 +874,7 @@ impl FleetSim {
     // Stream lifecycle
     // ------------------------------------------------------------------
 
-    fn on_stream_start(&mut self, _now: SimTime, ch: usize) {
+    fn on_stream_start(&mut self, now: SimTime, ch: usize) {
         let stream = self.workload.channels[ch].stream;
         // A broadcaster cannot push to a dark ingest node; it lands on
         // another edge in its country (sticky — kept after the outage).
@@ -811,9 +889,9 @@ impl FleetSim {
             }
         }
         let producer = self.producers[ch];
-        self.brain.register_stream(stream, producer);
+        self.brain.register_stream(stream, producer, now);
         if self.workload.channels[ch].popular {
-            self.brain.mark_popular(stream);
+            self.brain.mark_popular(stream, now);
         }
         let _ = self.hier.register_stream(&self.topology, stream, producer);
         // The producer itself carries the stream (zero-hop presence).
@@ -827,9 +905,9 @@ impl FleetSim {
         *self.hier_presence.entry((producer, stream)).or_insert(0) += 1;
     }
 
-    fn on_stream_end(&mut self, _now: SimTime, ch: usize) {
+    fn on_stream_end(&mut self, now: SimTime, ch: usize) {
         let stream = self.workload.channels[ch].stream;
-        self.brain.unregister_stream(stream);
+        self.brain.unregister_stream(stream, now);
         self.hier.unregister_stream(stream);
         // Sessions were truncated to the block end, so refcounts should be
         // drained; sweep any leftovers (e.g. the producer's own entry).
@@ -1079,8 +1157,8 @@ impl FleetSim {
         // Path lookup. Popular broadcasters' paths are prefetched to all
         // nodes (§4.4), so no Brain round trip is charged for them.
         let popular = self.workload.channels[channel].popular;
-        let lookup = self.brain.path_request(stream, consumer, now);
-        let Ok(lookup) = lookup else {
+        let lookup = self.brain.path_request(stream, consumer, now, popular);
+        let Ok((lookup, measured_ms)) = lookup else {
             // Stream raced offline; serve degenerate zero-hop with no
             // Brain round trip charged (same as a prefetched path).
             return (vec![consumer], DecisionOutcome::Prefetched, 400.0);
@@ -1088,11 +1166,27 @@ impl FleetSim {
         let brain_ms = if popular {
             None
         } else {
-            // Response time = RTT to the nearest Path Decision replica
-            // (replicated at well-peered sites, §7.1) + hash lookup.
-            let rtt = self.nearest_replica_rtt(consumer);
-            // RTT to the replica + RPC/queueing overhead + hash lookup.
-            Some(rtt + 8.0 + self.config.latency.brain_lookup_ms * self.rng.log_normal(0.0, 0.5))
+            // Exactly one RNG draw on this arm in both control-plane
+            // modes, so enabling replication never shifts the session
+            // noise stream.
+            match measured_ms {
+                // Replicated Brain: the cluster measured the leader-read
+                // wait (lease waits, redirects, retries) in virtual time;
+                // add the hash-lookup service jitter on top.
+                Some(ms) => {
+                    Some(ms + self.config.latency.brain_lookup_ms * self.rng.log_normal(0.0, 0.5))
+                }
+                // Single Brain: legacy model — RTT to the nearest Path
+                // Decision replica (replicated at well-peered sites,
+                // §7.1) + RPC/queueing overhead + hash lookup.
+                None => {
+                    let rtt = self.nearest_replica_rtt(consumer);
+                    Some(
+                        rtt + 8.0
+                            + self.config.latency.brain_lookup_ms * self.rng.log_normal(0.0, 0.5),
+                    )
+                }
+            }
         };
 
         let best = &lookup.paths[0];
@@ -1312,6 +1406,13 @@ impl FleetSim {
     fn on_fault_start(&mut self, now: SimTime, i: usize) {
         self.report.faults_injected += 1;
         self.telemetry.incr(ids::FLEET_FAULTS_INJECTED);
+        if self.faults[i].brain_crash {
+            // Control-plane fault: the Paxos leader dies mid-run. The data
+            // plane keeps forwarding; new path requests ride the client
+            // retry/redirect machinery until a follower takes the lease.
+            self.brain.crash_leader(now);
+            return;
+        }
         let nodes = self.faults[i].nodes.clone();
         let down: BTreeSet<NodeId> = nodes.iter().copied().collect();
         let day = (now.as_secs_f64() / 86_400.0) as u32;
@@ -1320,7 +1421,7 @@ impl FleetSim {
         // around the failed elements immediately (scoped update).
         for &n in &nodes {
             self.topology.set_node_up(n, false);
-            self.brain.node_failed(n);
+            self.brain.node_failed(n, now);
         }
 
         // Broadcasters whose ingest node died re-push to another edge in
@@ -1452,11 +1553,15 @@ impl FleetSim {
         }
     }
 
-    fn on_fault_end(&mut self, _now: SimTime, i: usize) {
+    fn on_fault_end(&mut self, now: SimTime, i: usize) {
+        if self.faults[i].brain_crash {
+            self.brain.restart_crashed(now);
+            return;
+        }
         let nodes = self.faults[i].nodes.clone();
         for &n in &nodes {
             self.topology.set_node_up(n, true);
-            self.brain.node_recovered(n);
+            self.brain.node_recovered(n, now);
         }
     }
 
@@ -1537,11 +1642,10 @@ impl FleetSim {
             .routable_node_ids()
             .filter_map(|n| livenet_topology::view::report_from_topology(&self.topology, n, now))
             .collect();
-        for r in &reports {
-            self.brain.absorb_report(r);
-        }
-        // 10-minute PIB recompute.
-        self.brain.maybe_recompute(now);
+        // Single mode absorbs them directly and runs the 10-minute PIB
+        // recompute check; replicated mode commits the whole batch as one
+        // Paxos decree and every replica applies it (recompute included).
+        self.brain.minute_report(&reports, now);
 
         // Aggregation: hour roll, day roll, throughput peak.
         if hour != self.current_hour {

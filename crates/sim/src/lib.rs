@@ -26,6 +26,7 @@
 
 pub mod adapter;
 pub mod calibrate;
+pub mod control;
 pub mod fleet;
 pub mod metrics;
 pub mod packetsim;
@@ -36,6 +37,7 @@ pub mod workload;
 
 pub use adapter::{EmuHost, HostEvent};
 pub use calibrate::LatencyConstants;
+pub use control::{ControlPlane, ReplicationConfig, ReplicationSummary};
 pub use fleet::{
     FaultPlanConfig, FleetConfig, FleetConfigBuilder, FleetFault, FleetReport, FleetSim,
     RecoveryRecord, System,

@@ -93,24 +93,6 @@ impl SessionRecord {
     pub fn zero_stall(&self) -> bool {
         self.stalls == 0
     }
-
-    /// Consumer already had the path/stream (local hit).
-    #[deprecated(since = "0.1.0", note = "match on `outcome` instead")]
-    pub fn local_hit(&self) -> bool {
-        self.outcome.is_local_hit()
-    }
-
-    /// Served via a last-resort path.
-    #[deprecated(since = "0.1.0", note = "match on `outcome` instead")]
-    pub fn last_resort(&self) -> bool {
-        self.outcome.is_last_resort()
-    }
-
-    /// Path Decision log: response time (None on local hits).
-    #[deprecated(since = "0.1.0", note = "match on `outcome` instead")]
-    pub fn brain_response_ms(&self) -> Option<f32> {
-        self.outcome.response_ms()
-    }
 }
 
 /// Record one session — counters by decision outcome plus the per-stage
@@ -316,18 +298,6 @@ mod tests {
         assert_eq!(lookup.count, 1);
         assert!((lookup.mean().unwrap() - 42.0).abs() < 1e-9);
         assert_eq!(snap.hist("stage.startup_ms").unwrap().count, 3);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_accessors_mirror_outcome() {
-        let mut s = rec(500.0, 0);
-        assert!(s.local_hit());
-        assert!(!s.last_resort());
-        assert_eq!(s.brain_response_ms(), None);
-        s.outcome = DecisionOutcome::Brain { response_ms: 7.5 };
-        assert!(!s.local_hit());
-        assert_eq!(s.brain_response_ms(), Some(7.5));
     }
 
     #[test]

@@ -195,6 +195,8 @@ impl FleetRunner {
 /// * `telemetry`: snapshot merge in shard-index order — counters sum,
 ///   gauges keep the max, histograms add bucket counts and fixed-point
 ///   sums, so the merged bits never depend on completion order.
+/// * `replication`: per-shard cluster summaries sum; failover-latency
+///   samples concatenate in shard-index order.
 /// * Other counters: summed.
 fn merge(outputs: Vec<ShardOutput>, days: usize) -> FleetReport {
     let mut merged = FleetReport::default();
@@ -231,6 +233,15 @@ fn merge(outputs: Vec<ShardOutput>, days: usize) -> FleetReport {
         merged.recompute_rounds += out.report.recompute_rounds;
         merged.producers_rehomed += out.report.producers_rehomed;
         merged.telemetry.merge(&out.report.telemetry);
+        // Replicated-Brain summaries: each shard runs its own cluster, so
+        // counters sum and failover samples concatenate in shard-index
+        // order (the loop order), keeping the merged bits deterministic.
+        if let Some(r) = &out.report.replication {
+            merged
+                .replication
+                .get_or_insert_with(Default::default)
+                .absorb(r);
+        }
     }
     merged.daily_unique_paths = day_sets.iter().map(HashSet::len).collect();
     merged

@@ -109,6 +109,32 @@ pub mod ids {
     pub const BRAIN_RESPONSE_MS: MetricId = MetricId("brain.response_ms");
     /// KSP path entries computed across all recompute rounds (work proxy).
     pub const BRAIN_KSP_PATHS: MetricId = MetricId("brain.ksp_paths_computed");
+    /// Leader failover latency (last decree before the crash → first
+    /// lease granted to a live holder), ms.
+    pub const BRAIN_FAILOVER_MS: MetricId = MetricId("brain.failover_ms");
+
+    // ---- replication: the Paxos-backed Brain cluster (§7.1) ----
+
+    /// State (non-lease) decrees chosen in the replicated log.
+    pub const REPLICATION_OPS_COMMITTED: MetricId = MetricId("replication.ops_committed");
+    /// Lease decrees that moved leadership (includes initial election).
+    pub const REPLICATION_LEASE_GRANTS: MetricId = MetricId("replication.lease_grants");
+    /// Lease decrees that renewed the incumbent leader.
+    pub const REPLICATION_LEASE_RENEWALS: MetricId = MetricId("replication.lease_renewals");
+    /// Ballots started (fresh proposals plus backoff retries).
+    pub const REPLICATION_PROPOSALS: MetricId = MetricId("replication.proposals");
+    /// Inter-replica Paxos messages put on the wire.
+    pub const REPLICATION_MSGS_SENT: MetricId = MetricId("replication.msgs_sent");
+    /// Inter-replica Paxos messages lost in flight.
+    pub const REPLICATION_MSGS_DROPPED: MetricId = MetricId("replication.msgs_dropped");
+    /// Client retries against the cluster (leader waits, ballot timeouts).
+    pub const REPLICATION_CLIENT_RETRIES: MetricId = MetricId("replication.client_retries");
+    /// Client redirects to a leader other than its cached hint.
+    pub const REPLICATION_REDIRECTS: MetricId = MetricId("replication.redirects");
+    /// Brain leader crashes injected by the fault plan.
+    pub const REPLICATION_LEADER_CRASHES: MetricId = MetricId("replication.leader_crashes");
+    /// Length of the canonical chosen log at end of run.
+    pub const REPLICATION_DECIDED_SLOTS: MetricId = MetricId("replication.decided_slots");
 
     // ---- cc: congestion control (client log analogue) ----
 
