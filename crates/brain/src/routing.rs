@@ -221,7 +221,16 @@ impl GlobalRouting {
         }
 
         let mut out = HashMap::new();
-        let mut candidates: Vec<(f64, Vec<usize>)> = Vec::with_capacity(2 * n);
+        // Candidates are fixed-size (weight, node-index buffer, length) so
+        // the inner loops allocate nothing: ~2n³ Vec allocations per
+        // recompute used to dominate the Brain's 10-minute job.
+        type Cand = (f64, [usize; 4], u8);
+        let cmp = |a: &Cand, b: &Cand| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.1[..a.2 as usize].cmp(&b.1[..b.2 as usize]))
+        };
+        let mut candidates: Vec<Cand> = Vec::with_capacity(2 * n);
         for s in 0..n {
             for d in 0..n {
                 if s == d {
@@ -230,7 +239,7 @@ impl GlobalRouting {
                 candidates.clear();
                 let direct = w[s * n + d];
                 if direct.is_finite() {
-                    candidates.push((direct, vec![s, d]));
+                    candidates.push((direct, [s, d, 0, 0], 2));
                 }
                 if max_hops >= 2 {
                     for r in 0..n {
@@ -239,7 +248,7 @@ impl GlobalRouting {
                         }
                         let c = w[s * n + r] + w[r * n + d];
                         if c.is_finite() {
-                            candidates.push((c, vec![s, r, d]));
+                            candidates.push((c, [s, r, d, 0], 3));
                         }
                     }
                 }
@@ -258,20 +267,25 @@ impl GlobalRouting {
                         if r1 == usize::MAX || !c.is_finite() {
                             continue;
                         }
-                        candidates.push((c + tail, vec![s, r1, r2, d]));
+                        candidates.push((c + tail, [s, r1, r2, d], 4));
                     }
                 }
-                candidates.sort_by(|a, b| {
-                    a.0.partial_cmp(&b.0)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then_with(|| a.1.cmp(&b.1))
-                });
+                // Top-k selection under the same total order as the old
+                // sort-everything-then-take(k): partition, then sort only
+                // the k survivors.
+                if candidates.len() > k {
+                    candidates.select_nth_unstable_by(k, cmp);
+                    candidates.truncate(k);
+                }
+                candidates.sort_by(cmp);
                 let paths: Vec<OverlayPath> = candidates
                     .iter()
-                    .take(k)
-                    .map(|(weight, idx_path)| OverlayPath {
-                        nodes: idx_path.iter().map(|&i| graph.ids[i]).collect(),
-                        weight: *weight,
+                    .map(|&(weight, idx_path, len)| OverlayPath {
+                        nodes: idx_path[..len as usize]
+                            .iter()
+                            .map(|&i| graph.ids[i])
+                            .collect(),
+                        weight,
                         computed_at: now,
                         last_resort: false,
                     })

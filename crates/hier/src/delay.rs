@@ -18,7 +18,7 @@
 
 use crate::control::HierPath;
 use livenet_topology::Topology;
-use livenet_types::SimDuration;
+use livenet_types::{NodeId, SimDuration};
 use serde::{Deserialize, Serialize};
 
 /// Tunables of the Hier delay model.
@@ -60,8 +60,18 @@ impl HierDelayModel {
     /// Returns `None` when the path references links missing from the
     /// topology.
     pub fn cdn_path_delay(&self, topology: &Topology, path: &HierPath) -> Option<SimDuration> {
+        self.cdn_path_delay_nodes(topology, &path.nodes)
+    }
+
+    /// Slice-based variant of [`Self::cdn_path_delay`] — callers holding a
+    /// node sequence can price it without building a [`HierPath`].
+    pub fn cdn_path_delay_nodes(
+        &self,
+        topology: &Topology,
+        nodes: &[NodeId],
+    ) -> Option<SimDuration> {
         let mut total = SimDuration::ZERO;
-        for w in path.nodes.windows(2) {
+        for w in nodes.windows(2) {
             if w[0] == w[1] {
                 continue; // degenerate hop (same node chosen twice)
             }
@@ -76,8 +86,8 @@ impl HierDelayModel {
         // The egress L1 (last node) also runs the stack; the ingress L1's
         // receive-side cost is charged to the first-mile, matching how the
         // paper attributes encoding + first mile to the client side.
-        let center = path.nodes.get(2).copied();
-        for (i, &n) in path.nodes.iter().enumerate() {
+        let center = nodes.get(2).copied();
+        for (i, &n) in nodes.iter().enumerate() {
             if i == 0 {
                 continue;
             }

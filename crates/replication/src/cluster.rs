@@ -63,6 +63,15 @@ pub struct ClusterConfig {
     pub client_timeout: SimDuration,
     /// Client attempts before giving up (`client_timeout` each).
     pub max_attempts: u32,
+    /// Upper bound on the idle lease stretch factor (`>= 1.0`; `1.0`
+    /// disables stretching). When the log has seen no *state* decree for a
+    /// while, the holder grants itself a lease of up to
+    /// `lease × idle_stretch_max` — amortizing renewal decrees over quiet
+    /// stretches at the cost of a longer worst-case failover if the
+    /// leader crashes while idle (a crash under load still re-elects
+    /// within the unstretched bound, because recent state decrees keep the
+    /// stretch at ~1).
+    pub idle_stretch_max: f64,
     /// Seed for the cluster's private message-delay/loss RNG.
     pub seed: u64,
 }
@@ -79,6 +88,7 @@ impl Default for ClusterConfig {
             takeover_backoff: SimDuration::from_millis(150),
             client_timeout: SimDuration::from_millis(250),
             max_attempts: 40,
+            idle_stretch_max: 1.0,
             seed: 0,
         }
     }
@@ -261,6 +271,9 @@ pub struct BrainCluster {
     client_hint: Option<ReplicaId>,
     /// Virtual time of the most recent decree decision.
     last_decided_at: SimTime,
+    /// Virtual time of the most recent *state* (non-lease) decree — the
+    /// idle clock the lease stretch is computed from.
+    last_state_decided_at: SimTime,
     /// Replica currently down from [`Self::crash_leader`].
     crashed: Option<ReplicaId>,
     /// `last_decided_at` captured at crash time; cleared when a live
@@ -303,6 +316,7 @@ impl BrainCluster {
             canon_lease: None,
             client_hint: None,
             last_decided_at: SimTime::ZERO,
+            last_state_decided_at: SimTime::ZERO,
             crashed: None,
             crash_pending: None,
             failover_ms: Vec::new(),
@@ -449,7 +463,10 @@ impl BrainCluster {
                     }
                 }
             }
-            Ok(_) => self.stats.state_ops_committed += 1,
+            Ok(_) => {
+                self.stats.state_ops_committed += 1;
+                self.last_state_decided_at = self.now;
+            }
             // A chosen value that fails to decode means a corrupted log —
             // surfaced as a divergence so the audit gate trips.
             Err(_) => self.divergences += 1,
@@ -581,10 +598,21 @@ impl BrainCluster {
     }
 
     fn propose_lease(&mut self, r: ReplicaId, term: u64) {
+        // Idle stretch: with no state decrees flowing there is nothing a
+        // stale leader could serve wrong, so the lease may safely grow
+        // toward `lease × idle_stretch_max`, amortizing renewal decrees
+        // over quiet stretches (a day-long idle shard otherwise burns
+        // ~43k renewal decrees on a 2 s renew cadence).
+        let idle = self
+            .now
+            .saturating_since(self.last_state_decided_at)
+            .as_millis_f64();
+        let stretch = (idle / self.cfg.lease.as_millis_f64())
+            .clamp(1.0, self.cfg.idle_stretch_max.max(1.0));
         let op = BrainOp::Lease {
             holder: r,
             term,
-            until: self.now + self.cfg.lease,
+            until: self.now + self.cfg.lease.mul_f64(stretch),
         };
         let value = op.encode();
         let (slot, outs) = self.members[r as usize].paxos.propose(value.clone());
@@ -981,6 +1009,34 @@ mod tests {
         c.advance_to(SimTime::from_secs(30));
         assert!(c.leader().is_some());
         assert!(c.stats().lease_renewals >= 2);
+    }
+
+    #[test]
+    fn idle_lease_stretch_amortizes_renewal_decrees() {
+        let run = |idle_stretch_max: f64| {
+            let g = GeoTopology::generate(&GeoConfig::tiny(9));
+            let cfg = ClusterConfig {
+                idle_stretch_max,
+                seed: 9,
+                ..ClusterConfig::default()
+            };
+            let mut c = BrainCluster::new(&g.topology, &BrainConfig::default(), cfg);
+            c.advance_to(SimTime::from_secs(300));
+            (c.leader().is_some(), c.stats().clone())
+        };
+        let (plain_led, plain) = run(1.0);
+        let (stretched_led, stretched) = run(20.0);
+        // Leadership never lapses in either mode.
+        assert!(plain_led && stretched_led);
+        assert_eq!(stretched.lease_grants, plain.lease_grants);
+        // An idle cluster stretches its lease toward 20×, so the renewal
+        // decree stream collapses instead of burning one every ~2 s.
+        assert!(
+            stretched.lease_renewals * 5 < plain.lease_renewals,
+            "stretch did not amortize: {} vs {} renewals",
+            stretched.lease_renewals,
+            plain.lease_renewals
+        );
     }
 
     #[test]

@@ -42,6 +42,23 @@ pub struct ReplicationConfig {
     pub client_timeout_ms: u64,
     /// Client attempts before giving up.
     pub max_attempts: u32,
+    /// Idle lease stretch cap (`>= 1.0`; the default `1.0` disables
+    /// stretching).
+    ///
+    /// When no state decree has been chosen for a while, the leader
+    /// grants itself a lease of up to `lease_ms × idle_lease_stretch`,
+    /// amortizing the ~43k renewal decrees an otherwise-idle shard burns
+    /// per simulated day (with the fleet's one-minute report cadence,
+    /// `20.0` collapses renewals to roughly one per report). The lease
+    /// IS the failure detector, so this is a real trade-off, which is
+    /// why it is opt-in: a leader crash must wait out the stretched
+    /// lease before failover, and the §7.1 15 s failover gate
+    /// (`exp_brainha`) plus the default client retry budget
+    /// (`client_timeout_ms × max_attempts` = 10 s) assume the
+    /// unstretched 3 s lease. Turn it up only for throughput-oriented
+    /// runs that don't gate on failover latency — and scale
+    /// `max_attempts` with it so post-crash clients outlive the lease.
+    pub idle_lease_stretch: f64,
 }
 
 impl Default for ReplicationConfig {
@@ -56,6 +73,7 @@ impl Default for ReplicationConfig {
             takeover_backoff_ms: 150,
             client_timeout_ms: 250,
             max_attempts: 40,
+            idle_lease_stretch: 1.0,
         }
     }
 }
@@ -86,6 +104,11 @@ impl ReplicationConfig {
                 "replication.renew_margin_ms must be < lease_ms",
             ));
         }
+        if !self.idle_lease_stretch.is_finite() || self.idle_lease_stretch < 1.0 {
+            return Err(Error::invalid_config(
+                "replication.idle_lease_stretch must be >= 1.0",
+            ));
+        }
         Ok(())
     }
 
@@ -100,6 +123,7 @@ impl ReplicationConfig {
             takeover_backoff: SimDuration::from_millis(self.takeover_backoff_ms),
             client_timeout: SimDuration::from_millis(self.client_timeout_ms),
             max_attempts: self.max_attempts,
+            idle_stretch_max: self.idle_lease_stretch,
             seed,
         }
     }

@@ -27,8 +27,9 @@ use livenet_topology::{GeoConfig, GeoTopology, NodeReport, Topology};
 use livenet_types::{DetRng, NodeId, SimDuration, SimTime, StreamId};
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// Which system a record belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -319,6 +320,33 @@ impl FleetConfigBuilder {
         }
     }
 
+    /// The ≥1M-session stress preset: paper-scale geography, a doubled
+    /// channel universe, 12 arrivals/s at peak, and a two-day window with
+    /// a Double-12-style surge (2× demand) on day 1. Capacities are
+    /// scaled with the arrival rate so utilization — and therefore
+    /// routing and queueing behavior — stays in the paper-scale regime.
+    pub fn mega_scale(seed: u64) -> FleetConfigBuilder {
+        FleetConfigBuilder {
+            config: FleetConfig {
+                geo: GeoConfig::paper_scale(seed),
+                workload: WorkloadConfig {
+                    seed,
+                    channels: 400,
+                    peak_arrivals_per_sec: 12.0,
+                    days: 2,
+                    festival_days: vec![1],
+                    festival_factor: 2.0,
+                    ..WorkloadConfig::default()
+                },
+                // 12/s vs the paper preset's 1.6/s → 7.5× the capacity.
+                node_capacity_sessions: 150.0,
+                link_capacity_sessions: 900.0,
+                shards: 8,
+                ..FleetConfig::default()
+            },
+        }
+    }
+
     /// Set both RNG seeds (topology and workload).
     pub fn seed(mut self, seed: u64) -> Self {
         self.config.geo.seed = seed;
@@ -403,13 +431,38 @@ impl FleetConfigBuilder {
 }
 
 /// Per-(node, stream) LiveNet forwarding state.
+///
+/// All nodes on one establishment chain share a single path allocation:
+/// each presence stores the chain's `Arc` buffer plus its own prefix
+/// length. Cloning a presence's realized path is a refcount bump, not a
+/// `Vec` copy — the per-session path clones used to dominate the fleet
+/// hot loop.
 #[derive(Debug, Clone)]
 struct Presence {
     upstream: Option<NodeId>,
-    /// Realized path from producer to this node (inclusive).
-    realized: Vec<NodeId>,
+    /// Shared chain buffer (producer → chain tail).
+    path: Arc<[NodeId]>,
+    /// This node's realized path is `path[..len]`.
+    len: u32,
     /// Direct downstream subscribers (nodes + viewers).
     downstreams: u32,
+}
+
+impl Presence {
+    /// Realized path from producer to this node (inclusive).
+    fn realized(&self) -> &[NodeId] {
+        &self.path[..self.len as usize]
+    }
+}
+
+/// A zero-hop presence for `node` (producers carry their own stream).
+fn zero_hop(node: NodeId) -> Presence {
+    Presence {
+        upstream: None,
+        path: Arc::from(vec![node]),
+        len: 1,
+        downstreams: 0,
+    }
 }
 
 /// An active viewing session.
@@ -432,7 +485,6 @@ struct ResolvedFault {
 }
 
 enum Ev {
-    Arrival(SessionSpec),
     Departure(u64),
     StreamStart(usize),
     StreamEnd(usize),
@@ -548,6 +600,10 @@ pub struct FleetSim {
     presence: HashMap<(NodeId, StreamId), Presence>,
     // Hier data-plane state: refcounts per (node, stream) (GoP caches).
     hier_presence: HashMap<(NodeId, StreamId), u32>,
+    // Incremental per-node sum of `hier_presence` refcounts, so center
+    // queueing is O(1) per arrival instead of a full presence scan.
+    // Integer-valued, hence exact and order-independent.
+    hier_node_load: HashMap<NodeId, i64>,
     // Loads.
     node_fanout: HashMap<NodeId, f64>,
     link_sessions: HashMap<(NodeId, NodeId), f64>,
@@ -561,7 +617,9 @@ pub struct FleetSim {
     // shard's membership in sharded runs).
     scheduled: Vec<bool>,
     queue: EventQueue<Ev>,
-    active: HashMap<u64, Active>,
+    // Ordered so fault handling iterates sessions in id order for free
+    // (it used to collect-and-sort the whole id set per activation).
+    active: BTreeMap<u64, Active>,
     next_session_id: u64,
     report: FleetReport,
     // Scratch aggregation.
@@ -727,6 +785,7 @@ impl FleetSim {
             rng,
             presence: HashMap::new(),
             hier_presence: HashMap::new(),
+            hier_node_load: HashMap::new(),
             node_fanout: HashMap::new(),
             link_sessions: HashMap::new(),
             live_blocks,
@@ -734,7 +793,7 @@ impl FleetSim {
             faults,
             scheduled,
             queue: EventQueue::new(),
-            active: HashMap::new(),
+            active: BTreeMap::new(),
             next_session_id: 0,
             report: FleetReport::default(),
             hour_loss_sum: 0.0,
@@ -807,47 +866,8 @@ impl FleetSim {
 
     /// Run and keep the shard-merge bookkeeping alongside the report.
     pub(crate) fn run_collect(mut self) -> ShardOutput {
-        self.hier_delay = HierDelayModel::new(self.config.hier);
-        // Seed stream start/end events for the channels this instance owns.
-        for (ch, blocks) in self.live_blocks.clone().into_iter().enumerate() {
-            if !self.scheduled[ch] {
-                continue;
-            }
-            for (start, end) in blocks {
-                self.queue.schedule(start, Ev::StreamStart(ch));
-                self.queue.schedule(end, Ev::StreamEnd(ch));
-            }
-        }
-        self.queue.schedule(SimTime::from_secs(60), Ev::MinuteTick);
-        for (i, f) in self.faults.iter().enumerate() {
-            self.queue.schedule(f.start, Ev::FaultStart(i));
-            self.queue.schedule(f.end, Ev::FaultEnd(i));
-        }
-        if let Some(first) = self.workload.next_session() {
-            self.queue.schedule(first.at, Ev::Arrival(first));
-        }
-        let horizon = self.workload.horizon();
-        while let Some((now, ev)) = self.queue.pop_until(horizon) {
-            match ev {
-                Ev::Arrival(spec) => {
-                    // Chain the next arrival first (keeps the stream lazy).
-                    if let Some(next) = self.workload.next_session() {
-                        self.queue.schedule(next.at, Ev::Arrival(next));
-                    }
-                    self.on_arrival(now, spec);
-                }
-                Ev::Departure(id) => self.on_departure(now, id),
-                Ev::StreamStart(ch) => self.on_stream_start(now, ch),
-                Ev::StreamEnd(ch) => self.on_stream_end(now, ch),
-                Ev::MinuteTick => {
-                    self.on_minute(now);
-                    self.queue
-                        .schedule(now + SimDuration::from_secs(60), Ev::MinuteTick);
-                }
-                Ev::FaultStart(i) => self.on_fault_start(now, i),
-                Ev::FaultEnd(i) => self.on_fault_end(now, i),
-            }
-        }
+        self.seed_events();
+        self.drive();
         self.flush_hour();
         self.flush_day();
         // The trailing flush can emit a phantom partial day/hour at the
@@ -860,13 +880,105 @@ impl FleetSim {
         // Settle and audit the replicated control plane (no-op in single
         // mode) BEFORE the telemetry export so the exported counters cover
         // the post-settle cluster state.
-        self.report.replication = self.brain.finalize(horizon);
+        self.report.replication = self.brain.finalize(self.workload.horizon());
         self.report.recompute_rounds = self.brain.recompute_rounds();
         self.brain.record_telemetry(&mut self.telemetry);
         self.report.telemetry = self.telemetry.snapshot();
         ShardOutput {
             report: self.report,
             day_path_sets: self.day_path_log,
+        }
+    }
+
+    /// Seed the event queue (stream schedule, minute tick, faults) and
+    /// pre-size every per-session buffer from the workload's expected
+    /// volume, so the hot loop never grows a `Vec` mid-run.
+    fn seed_events(&mut self) {
+        self.hier_delay = HierDelayModel::new(self.config.hier);
+        // Stream start/end events for the channels this instance owns —
+        // scheduled by reference; the schedule itself is immutable for the
+        // whole run (asserted in `drive`).
+        for (ch, blocks) in self.live_blocks.iter().enumerate() {
+            if !self.scheduled[ch] {
+                continue;
+            }
+            for &(start, end) in blocks {
+                self.queue.schedule(start, Ev::StreamStart(ch));
+                self.queue.schedule(end, Ev::StreamEnd(ch));
+            }
+        }
+        self.queue.schedule(SimTime::from_secs(60), Ev::MinuteTick);
+        for (i, f) in self.faults.iter().enumerate() {
+            self.queue.schedule(f.start, Ev::FaultStart(i));
+            self.queue.schedule(f.end, Ev::FaultEnd(i));
+        }
+        let expect = self.workload.expected_sessions();
+        // Headroom over the Poisson mean so the tail almost never spills.
+        let cap = expect + expect / 8 + 64;
+        self.report.livenet.reserve(cap);
+        self.report.hier.reserve(cap);
+        let days = self.config.workload.days as usize;
+        self.report.hourly_loss.reserve(days * 24 + 2);
+        self.report.daily_peak_throughput.reserve(days + 2);
+        self.report.daily_unique_paths.reserve(days + 2);
+        self.day_path_log.reserve(days + 2);
+    }
+
+    /// Drive the event loop to the horizon.
+    ///
+    /// Arrivals bypass the event queue entirely: the workload generator
+    /// already emits a time-sorted stream, so pushing every session
+    /// through the binary heap cost two O(log n) operations for nothing.
+    /// The next arrival is held in a register and interleaved with queue
+    /// events by timestamp (arrival first on the measure-zero exact tie,
+    /// consistently in both serial and parallel execution).
+    fn drive(&mut self) {
+        #[cfg(debug_assertions)]
+        let schedule_fingerprint = {
+            let mut h = DefaultHasher::new();
+            self.live_blocks.hash(&mut h);
+            h.finish()
+        };
+        let horizon = self.workload.horizon();
+        let mut next_arrival = self.workload.next_session();
+        loop {
+            let take_arrival = match (&next_arrival, self.queue.peek_time()) {
+                (Some(a), Some(t)) => a.at <= t,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if take_arrival {
+                let spec = next_arrival.take().expect("checked above");
+                self.queue.advance_to(spec.at);
+                next_arrival = self.workload.next_session();
+                self.on_arrival(spec.at, spec);
+                continue;
+            }
+            let Some((now, ev)) = self.queue.pop_until(horizon) else {
+                break;
+            };
+            match ev {
+                Ev::Departure(id) => self.on_departure(now, id),
+                Ev::StreamStart(ch) => self.on_stream_start(now, ch),
+                Ev::StreamEnd(ch) => self.on_stream_end(now, ch),
+                Ev::MinuteTick => {
+                    self.on_minute(now);
+                    self.queue
+                        .schedule(now + SimDuration::from_secs(60), Ev::MinuteTick);
+                }
+                Ev::FaultStart(i) => self.on_fault_start(now, i),
+                Ev::FaultEnd(i) => self.on_fault_end(now, i),
+            }
+        }
+        #[cfg(debug_assertions)]
+        {
+            let mut h = DefaultHasher::new();
+            self.live_blocks.hash(&mut h);
+            debug_assert_eq!(
+                schedule_fingerprint,
+                h.finish(),
+                "live-block schedule mutated mid-run"
+            );
         }
     }
 
@@ -897,12 +1009,9 @@ impl FleetSim {
         // The producer itself carries the stream (zero-hop presence).
         self.presence
             .entry((producer, stream))
-            .or_insert(Presence {
-                upstream: None,
-                realized: vec![producer],
-                downstreams: 0,
-            });
+            .or_insert_with(|| zero_hop(producer));
         *self.hier_presence.entry((producer, stream)).or_insert(0) += 1;
+        *self.hier_node_load.entry(producer).or_insert(0) += 1;
     }
 
     fn on_stream_end(&mut self, now: SimTime, ch: usize) {
@@ -912,14 +1021,29 @@ impl FleetSim {
         // Sessions were truncated to the block end, so refcounts should be
         // drained; sweep any leftovers (e.g. the producer's own entry).
         self.presence.retain(|&(_, s), _| s != stream);
-        self.hier_presence.retain(|&(_, s), _| s != stream);
+        let load = &mut self.hier_node_load;
+        self.hier_presence.retain(|&(n, s), c| {
+            if s != stream {
+                return true;
+            }
+            if let Some(l) = load.get_mut(&n) {
+                *l -= i64::from(*c);
+            }
+            false
+        });
     }
 
     fn channel_live_until(&self, ch: usize, now: SimTime) -> Option<SimTime> {
-        self.live_blocks[ch]
-            .iter()
-            .find(|(s, e)| *s <= now && now < *e)
-            .map(|(_, e)| *e)
+        // Blocks are sorted and disjoint; binary-search the last block
+        // starting at or before `now` instead of scanning the whole
+        // schedule per arrival.
+        let blocks = &self.live_blocks[ch];
+        let i = blocks.partition_point(|&(s, _)| s <= now);
+        if i == 0 {
+            return None;
+        }
+        let (_, end) = blocks[i - 1];
+        (now < end).then_some(end)
     }
 
     // ------------------------------------------------------------------
@@ -1002,13 +1126,14 @@ impl FleetSim {
         let view_minutes = duration.as_secs_f64() / 60.0;
 
         // ---------------- LiveNet ----------------
-        let ln = self.livenet_attach(now, consumer, stream, spec.channel);
-        let (path, outcome, first_packet_ms) = ln;
+        let (shared, plen, outcome, first_packet_ms) =
+            self.livenet_attach(now, consumer, stream, spec.channel);
+        let path = &shared[..plen as usize];
         let path_loss: f64 = path
             .windows(2)
             .map(|w| self.topology.link(w[0], w[1]).map(|l| l.loss).unwrap_or(0.0))
             .sum();
-        let cdn_ms = self.livenet_cdn_delay(&path);
+        let cdn_ms = self.livenet_cdn_delay(path);
         let streaming_ms = cdn_ms
             + self.config.latency.first_mile_ms * self.rng.log_normal(0.0, 0.25)
             + last_mile_ms
@@ -1054,9 +1179,7 @@ impl FleetSim {
         let hier_cdn_ms = if hier_path.len() >= 2 {
             let base = self
                 .hier_delay
-                .cdn_path_delay(&self.topology, &livenet_hier::HierPath {
-                    nodes: hier_path.clone(),
-                })
+                .cdn_path_delay_nodes(&self.topology, &hier_path)
                 .map(|d| d.as_millis_f64())
                 .unwrap_or(450.0);
             // Center queueing under load (the §2.3 hot-spot effect).
@@ -1126,6 +1249,9 @@ impl FleetSim {
         for &n in &session.hier_path {
             if let Some(c) = self.hier_presence.get_mut(&(n, session.stream)) {
                 *c = c.saturating_sub(1);
+                if let Some(l) = self.hier_node_load.get_mut(&n) {
+                    *l -= 1;
+                }
                 if *c == 0 {
                     self.hier_presence.remove(&(n, session.stream));
                 }
@@ -1137,21 +1263,24 @@ impl FleetSim {
     // LiveNet attachment (the §4.4 establishment protocol, session level)
     // ------------------------------------------------------------------
 
-    /// Returns `(realized_path, decision_outcome, first_packet_ms)`.
+    /// Returns `(chain_buffer, realized_len, decision_outcome,
+    /// first_packet_ms)` — the session's realized path is
+    /// `chain_buffer[..realized_len]`, a view into the chain's shared
+    /// allocation (no per-session copy).
     fn livenet_attach(
         &mut self,
         now: SimTime,
         consumer: NodeId,
         stream: StreamId,
         channel: usize,
-    ) -> (Vec<NodeId>, DecisionOutcome, f64) {
+    ) -> (Arc<[NodeId]>, u32, DecisionOutcome, f64) {
         // Local hit: the consumer already forwards this stream.
         if let Some(p) = self.presence.get_mut(&(consumer, stream)) {
             p.downstreams += 1;
-            let realized = p.realized.clone();
+            let (buf, len) = (p.path.clone(), p.len);
             let first_packet =
                 self.config.latency.local_serve_ms * self.rng.log_normal(0.0, 0.4);
-            return (realized, DecisionOutcome::LocalHit, first_packet);
+            return (buf, len, DecisionOutcome::LocalHit, first_packet);
         }
 
         // Path lookup. Popular broadcasters' paths are prefetched to all
@@ -1161,7 +1290,12 @@ impl FleetSim {
         let Ok((lookup, measured_ms)) = lookup else {
             // Stream raced offline; serve degenerate zero-hop with no
             // Brain round trip charged (same as a prefetched path).
-            return (vec![consumer], DecisionOutcome::Prefetched, 400.0);
+            return (
+                Arc::from(vec![consumer]),
+                1,
+                DecisionOutcome::Prefetched,
+                400.0,
+            );
         };
         let brain_ms = if popular {
             None
@@ -1189,9 +1323,14 @@ impl FleetSim {
             }
         };
 
-        let best = &lookup.paths[0];
         let last_resort = lookup.last_resort;
-        let path = best.nodes.clone();
+        // Take the best path by value — the lookup is ours, no clone.
+        let path = lookup
+            .paths
+            .into_iter()
+            .next()
+            .expect("path lookup returned no paths")
+            .nodes;
 
         // Reverse-path establishment with cache-hit backtracking: walk
         // upstream from the consumer; the deepest node already carrying
@@ -1210,16 +1349,13 @@ impl FleetSim {
                 est_ms += l.rtt.as_millis_f64() + 10.0;
             }
         }
-        let realized = self
-            .presence
-            .get(&(path[anchor_idx], stream))
-            .map(|p| p.realized.clone())
-            .unwrap_or_else(|| vec![path[anchor_idx]]);
+        let anchor = self.presence.get(&(path[anchor_idx], stream));
+        let anchor_len = anchor.map_or(1, |p| p.len as usize);
         // Long-chain mitigation: if the realized chain would exceed the
         // threshold, re-establish the full computed path from the producer
         // (the consumer-driven switch of §4.4).
-        let chained_hops = realized.len() - 1 + (path.len() - 1 - anchor_idx);
-        let (anchor_idx, realized) = if chained_hops + 1 > self.config.long_chain_switch_hops {
+        let chained_hops = anchor_len - 1 + (path.len() - 1 - anchor_idx);
+        let anchor_idx = if chained_hops + 1 > self.config.long_chain_switch_hops {
             self.report.chain_switches += 1;
             est_ms = 0.0;
             for w in path.windows(2) {
@@ -1227,32 +1363,50 @@ impl FleetSim {
                     est_ms += l.rtt.as_millis_f64() + 10.0;
                 }
             }
-            (0, vec![path[0]])
+            0
         } else {
-            (anchor_idx, realized)
+            anchor_idx
         };
-        let mut realized = {
-            let mut r = realized;
-            r.extend_from_slice(&path[anchor_idx + 1..]);
-            r
-        };
+        // Build the chain's realized path ONCE; every presence entry on
+        // the tail then shares this one allocation via `Arc` + prefix len.
+        let mut realized: Vec<NodeId> =
+            Vec::with_capacity(anchor_len + path.len() - anchor_idx);
+        if anchor_idx == 0 {
+            // Either no anchor was found or the chain switch reset to the
+            // producer — when an anchor exists at index 0 its realized
+            // prefix still applies.
+            match self.presence.get(&(path[0], stream)) {
+                Some(p) if chained_hops < self.config.long_chain_switch_hops => {
+                    realized.extend_from_slice(p.realized());
+                }
+                _ => realized.push(path[0]),
+            }
+        } else {
+            match self.presence.get(&(path[anchor_idx], stream)) {
+                Some(p) => realized.extend_from_slice(p.realized()),
+                None => realized.push(path[anchor_idx]),
+            }
+        }
+        realized.extend_from_slice(&path[anchor_idx + 1..]);
         realized.dedup();
+        let shared: Arc<[NodeId]> = Arc::from(realized);
 
         // Create presence entries along the new tail.
         for j in (anchor_idx + 1)..path.len() {
             let node = path[j];
             let upstream = path[j - 1];
-            let prefix_len = realized
+            let prefix_len = shared
                 .iter()
                 .position(|&n| n == node)
                 .map(|p| p + 1)
-                .unwrap_or(realized.len());
+                .unwrap_or(shared.len());
             let entry = self
                 .presence
                 .entry((node, stream))
                 .or_insert_with(|| Presence {
                     upstream: Some(upstream),
-                    realized: realized[..prefix_len].to_vec(),
+                    path: shared.clone(),
+                    len: prefix_len as u32,
                     downstreams: 0,
                 });
             if j + 1 < path.len() {
@@ -1283,7 +1437,8 @@ impl FleetSim {
                 None => DecisionOutcome::Prefetched,
             }
         };
-        (realized, outcome, first_packet)
+        let len = shared.len() as u32;
+        (shared, len, outcome, first_packet)
     }
 
     fn livenet_detach(&mut self, consumer: NodeId, stream: StreamId) {
@@ -1354,6 +1509,7 @@ impl FleetSim {
         let nodes = path.nodes;
         for &n in &nodes {
             *self.hier_presence.entry((n, stream)).or_insert(0) += 1;
+            *self.hier_node_load.entry(n).or_insert(0) += 1;
         }
         if hit {
             let fp = self.config.latency.local_serve_ms * 1.3 * self.rng.log_normal(0.0, 0.4);
@@ -1383,13 +1539,12 @@ impl FleetSim {
 
     fn center_queueing_ms(&mut self, path: &[NodeId]) -> f64 {
         // All streams cross the center; queueing grows superlinearly with
-        // the center's fan-in share of concurrent sessions.
+        // the center's fan-in share of concurrent sessions. The per-node
+        // refcount sum is maintained incrementally (integer arithmetic,
+        // so it matches a fresh scan exactly) — scanning the whole
+        // presence table here made every arrival O(active sessions).
         let center = path[2];
-        let load = self.hier_presence
-            .iter()
-            .filter(|((n, _), _)| *n == center)
-            .map(|(_, &c)| f64::from(c))
-            .sum::<f64>()
+        let load = self.hier_node_load.get(&center).copied().unwrap_or(0).max(0) as f64
             / (self.config.node_capacity_sessions * 30.0);
         let u = load.min(1.5);
         if u > 0.5 {
@@ -1413,7 +1568,9 @@ impl FleetSim {
             self.brain.crash_leader(now);
             return;
         }
-        let nodes = self.faults[i].nodes.clone();
+        // Borrow the node list by taking it (restored below) — activations
+        // used to deep-copy it every time.
+        let nodes = std::mem::take(&mut self.faults[i].nodes);
         let down: BTreeSet<NodeId> = nodes.iter().copied().collect();
         let day = (now.as_secs_f64() / 86_400.0) as u32;
 
@@ -1447,11 +1604,9 @@ impl FleetSim {
                 let _ = self.brain.rehome_producer(stream, new_p, now);
                 self.producers[ch] = new_p;
                 self.presence.remove(&(n, stream));
-                self.presence.entry((new_p, stream)).or_insert(Presence {
-                    upstream: None,
-                    realized: vec![new_p],
-                    downstreams: 0,
-                });
+                self.presence
+                    .entry((new_p, stream))
+                    .or_insert_with(|| zero_hop(new_p));
                 self.report.producers_rehomed += 1;
             }
         }
@@ -1467,8 +1622,9 @@ impl FleetSim {
         // Phase 2: purge what the dead nodes carried. Phase 3: re-attach,
         // so shared chains are rebuilt fresh instead of local-hitting a
         // stale entry that still routes through the failure.
-        let mut ids: Vec<u64> = self.active.keys().copied().collect();
-        ids.sort_unstable();
+        // `active` is ordered, so a plain key snapshot is already sorted —
+        // no per-activation sort.
+        let ids: Vec<u64> = self.active.keys().copied().collect();
         let mut reattach: Vec<(u64, NodeId, StreamId, usize)> = Vec::new();
         for id in ids {
             let (consumer, stream, channel, hier_hit) = {
@@ -1479,7 +1635,7 @@ impl FleetSim {
             let ln_hit = self
                 .presence
                 .get(&(consumer, stream))
-                .is_some_and(|p| p.realized.iter().any(|n| down.contains(n)));
+                .is_some_and(|p| p.realized().iter().any(|n| down.contains(n)));
             if ln_hit {
                 let popular = self.workload.channels[channel].popular;
                 // Popular channels' alternates are prefetched everywhere
@@ -1543,7 +1699,16 @@ impl FleetSim {
         }
         // Whatever presence the dead nodes still carried is gone with them.
         self.presence.retain(|&(n, _), _| !down.contains(&n));
-        self.hier_presence.retain(|&(n, _), _| !down.contains(&n));
+        let load = &mut self.hier_node_load;
+        self.hier_presence.retain(|&(n, _), c| {
+            if !down.contains(&n) {
+                return true;
+            }
+            if let Some(l) = load.get_mut(&n) {
+                *l -= i64::from(*c);
+            }
+            false
+        });
         // Re-establish over paths the Brain already recomputed around the
         // failure.
         for (_, consumer, stream, channel) in reattach {
@@ -1551,6 +1716,7 @@ impl FleetSim {
                 let _ = self.livenet_attach(now, consumer, stream, channel);
             }
         }
+        self.faults[i].nodes = nodes;
     }
 
     fn on_fault_end(&mut self, now: SimTime, i: usize) {
@@ -1558,11 +1724,12 @@ impl FleetSim {
             self.brain.restart_crashed(now);
             return;
         }
-        let nodes = self.faults[i].nodes.clone();
+        let nodes = std::mem::take(&mut self.faults[i].nodes);
         for &n in &nodes {
             self.topology.set_node_up(n, true);
             self.brain.node_recovered(n, now);
         }
+        self.faults[i].nodes = nodes;
     }
 
     // ------------------------------------------------------------------
@@ -1602,38 +1769,30 @@ impl FleetSim {
                 *self.link_sessions.entry((up, node)).or_insert(0.0) += 1.0;
             }
         }
-        // Update ground-truth loss (diurnal; Fig. 13) and utilization.
-        let updates: Vec<(NodeId, NodeId, f64, f64)> = self
-            .topology
-            .links()
-            .map(|(f, t, _)| {
-                let sessions = self.link_sessions.get(&(f, t)).copied().unwrap_or(0.0);
-                let util =
-                    (sessions / (self.config.link_capacity_sessions * capacity_scale)).min(1.0);
-                (f, t, util, 0.0)
-            })
-            .collect();
+        // Update ground-truth loss (diurnal; Fig. 13) and utilization in
+        // one pass over the link map — the old collect-then-apply shape
+        // allocated a per-tick update vector for no semantic gain (the
+        // load maps and the topology are disjoint fields).
         let mut loss_sum = 0.0;
         let mut loss_n = 0u64;
         let gen_base = self.config.geo.base_loss;
-        for (f, t, util, _) in updates {
-            if let Some(l) = self.topology.link_mut(f, t) {
-                l.utilization = util;
-                // Loss rises with the diurnal load (peaking < 0.175%).
-                let jitter = 0.8 + 0.4 * ((f.raw() * 31 + t.raw() * 17 + hour) % 97) as f64 / 97.0;
-                l.loss = (gen_base * (0.5 + 2.2 * diurnal) * jitter).min(0.00175);
-                loss_sum += l.loss;
-                loss_n += 1;
-            }
+        let link_cap = self.config.link_capacity_sessions * capacity_scale;
+        let link_sessions = &self.link_sessions;
+        for (f, t, l) in self.topology.links_mut() {
+            let sessions = link_sessions.get(&(f, t)).copied().unwrap_or(0.0);
+            l.utilization = (sessions / link_cap).min(1.0);
+            // Loss rises with the diurnal load (peaking < 0.175%).
+            let jitter = 0.8 + 0.4 * ((f.raw() * 31 + t.raw() * 17 + hour) % 97) as f64 / 97.0;
+            l.loss = (gen_base * (0.5 + 2.2 * diurnal) * jitter).min(0.00175);
+            loss_sum += l.loss;
+            loss_n += 1;
         }
-        // Node loads.
-        let node_ids: Vec<NodeId> = self.topology.node_ids().collect();
-        for id in node_ids {
-            let fanout = self.node_fanout.get(&id).copied().unwrap_or(0.0).max(0.0);
-            let util = (fanout / (self.config.node_capacity_sessions * capacity_scale)).min(1.0);
-            if let Some(n) = self.topology.node_mut(id) {
-                n.utilization = util;
-            }
+        // Node loads, same single-pass shape.
+        let node_cap = self.config.node_capacity_sessions * capacity_scale;
+        let node_fanout = &self.node_fanout;
+        for n in self.topology.nodes_mut() {
+            let fanout = node_fanout.get(&n.id).copied().unwrap_or(0.0).max(0.0);
+            n.utilization = (fanout / node_cap).min(1.0);
         }
 
         // 1-minute node reports into the Brain (overload alarms included).
@@ -1829,39 +1988,10 @@ mod tests {
     #[test]
     fn refcounts_drain_after_run() {
         let mut sim = FleetSim::new(FleetConfig::smoke(8));
-        sim.hier_delay = HierDelayModel::new(sim.config.hier);
-        // Run manually to inspect internal state afterwards.
-        for (ch, blocks) in sim.live_blocks.clone().into_iter().enumerate() {
-            for (start, end) in blocks {
-                sim.queue.schedule(start, Ev::StreamStart(ch));
-                sim.queue.schedule(end, Ev::StreamEnd(ch));
-            }
-        }
-        sim.queue.schedule(SimTime::from_secs(60), Ev::MinuteTick);
-        if let Some(first) = sim.workload.next_session() {
-            sim.queue.schedule(first.at, Ev::Arrival(first));
-        }
-        let horizon = sim.workload.horizon();
-        while let Some((now, ev)) = sim.queue.pop_until(horizon) {
-            match ev {
-                Ev::Arrival(spec) => {
-                    if let Some(next) = sim.workload.next_session() {
-                        sim.queue.schedule(next.at, Ev::Arrival(next));
-                    }
-                    sim.on_arrival(now, spec);
-                }
-                Ev::Departure(id) => sim.on_departure(now, id),
-                Ev::StreamStart(ch) => sim.on_stream_start(now, ch),
-                Ev::StreamEnd(ch) => sim.on_stream_end(now, ch),
-                Ev::MinuteTick => {
-                    sim.on_minute(now);
-                    sim.queue
-                        .schedule(now + SimDuration::from_secs(60), Ev::MinuteTick);
-                }
-                Ev::FaultStart(i) => sim.on_fault_start(now, i),
-                Ev::FaultEnd(i) => sim.on_fault_end(now, i),
-            }
-        }
+        // Run through the shared driver (the same code `run_collect`
+        // uses), keeping the sim alive to inspect internal state.
+        sim.seed_events();
+        sim.drive();
         // After all departures + stream ends, presence should be empty and
         // link session counts ≈ 0.
         assert!(sim.presence.is_empty(), "{} presences leak", sim.presence.len());
@@ -1870,6 +2000,11 @@ mod tests {
                 c.abs() < 1e-6,
                 "link ({f},{t}) leaked {c} sessions"
             );
+        }
+        // The incremental hier load must drain with the refcounts it
+        // mirrors.
+        for (&n, &l) in &sim.hier_node_load {
+            assert_eq!(l, 0, "node {n} leaked hier load {l}");
         }
     }
 

@@ -8,12 +8,12 @@
 //! completion order, `run_parallel(n)` is **bit-identical** to
 //! `run_serial()` for every seed and every thread count.
 //!
-//! The partition respects the workload's Zipf skew:
+//! The partition balances the workload's Zipf skew:
 //!
-//! * the popular head channels (the prefetch set) are co-sharded as one
-//!   group on shard 0, so head viewers share GoP caches and realized paths
-//!   the way they do in the monolith;
-//! * tail channels are greedily balanced by their Zipf mass `1/(rank+1)^s`;
+//! * channels are placed heaviest-first on the lightest shard so far (the
+//!   LPT greedy), so the Zipf head spreads across shards instead of
+//!   piling onto shard 0 — no shard exceeds the ideal mass share by more
+//!   than the single heaviest channel;
 //! * each shard's arrival rate and session capacities are scaled by its
 //!   mass share, so per-shard utilization — and therefore routing,
 //!   queueing and the long-chain dynamics — matches the monolith's.
@@ -28,7 +28,8 @@
 
 use crate::fleet::{FleetConfig, FleetReport, FleetSim, RecoveryRecord, ShardOutput};
 use livenet_types::{Result, SimTime, ZipfTable};
-use std::collections::HashSet;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
@@ -47,29 +48,25 @@ pub struct ShardPlan {
 
 /// Partition the channel universe into at most `config.shards` plans.
 ///
-/// The popular head (`popular_fraction`) stays together on shard 0; tail
-/// channels go to the lightest shard so far (ties to the lowest index).
-/// Shards that end up empty are dropped — surviving plans keep their
-/// original indices, so the partition (and every shard's RNG stream) is a
-/// pure function of the config, never of the thread count.
+/// Channels are placed heaviest-first (Zipf mass is monotone in rank)
+/// onto the lightest shard so far, ties to the lowest index — the LPT
+/// greedy. That spreads the Zipf head across shards instead of
+/// co-locating it on shard 0 (the old head-group rule capped parallel
+/// speedup at roughly `1 / head_mass` regardless of shard count), and
+/// bounds every shard's mass share by `ideal + pmf(0)`. Shards that end
+/// up empty are dropped — surviving plans keep their original indices, so
+/// the partition (and every shard's RNG stream) is a pure function of the
+/// config, never of the thread count.
 pub fn partition_channels(config: &FleetConfig) -> Vec<ShardPlan> {
     let channels = config.workload.channels;
     let shards = config.shards.clamp(1, channels.max(1));
     let zipf = ZipfTable::new(channels, config.workload.zipf_s);
     let mass: Vec<f64> = (0..channels).map(|k| zipf.pmf(k)).collect();
     let total: f64 = mass.iter().sum();
-    let popular_cut = ((channels as f64 * config.workload.popular_fraction).ceil() as usize)
-        .min(channels);
 
     let mut members: Vec<Vec<usize>> = vec![Vec::new(); shards];
     let mut load = vec![0.0f64; shards];
-    // Head group: co-sharded, always on shard 0.
-    for (c, &m) in mass.iter().enumerate().take(popular_cut) {
-        members[0].push(c);
-        load[0] += m;
-    }
-    // Tail: greedy balance by Zipf mass.
-    for (c, &m) in mass.iter().enumerate().skip(popular_cut) {
+    for (c, &m) in mass.iter().enumerate() {
         let mut best = 0;
         for s in 1..shards {
             if load[s] < load[best] {
@@ -198,23 +195,30 @@ impl FleetRunner {
 /// * `replication`: per-shard cluster summaries sum; failover-latency
 ///   samples concatenate in shard-index order.
 /// * Other counters: summed.
-fn merge(outputs: Vec<ShardOutput>, days: usize) -> FleetReport {
+fn merge(mut outputs: Vec<ShardOutput>, days: usize) -> FleetReport {
     let mut merged = FleetReport::default();
-    let mut order: Vec<(SimTime, usize, usize)> = Vec::new();
-    for (s, out) in outputs.iter().enumerate() {
-        for (i, rec) in out.report.livenet.iter().enumerate() {
-            order.push((rec.start, s, i));
-        }
-    }
-    order.sort_unstable();
-    merged.livenet.reserve(order.len());
-    merged.hier.reserve(order.len());
-    for &(_, s, i) in &order {
+    // Per-shard session vectors are already time-ordered, so a heap of one
+    // cursor per shard streams out the exact `(start, shard, position)`
+    // order the old global index sort produced, without materializing an
+    // O(sessions) order vector first.
+    let total: usize = outputs.iter().map(|o| o.report.livenet.len()).sum();
+    merged.livenet.reserve_exact(total);
+    merged.hier.reserve_exact(total);
+    let mut heads: BinaryHeap<Reverse<(SimTime, usize, usize)>> = outputs
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| !o.report.livenet.is_empty())
+        .map(|(s, o)| Reverse((o.report.livenet[0].start, s, 0)))
+        .collect();
+    while let Some(Reverse((_, s, i))) = heads.pop() {
         merged.livenet.push(outputs[s].report.livenet[i]);
         merged.hier.push(outputs[s].report.hier[i]);
+        if let Some(next) = outputs[s].report.livenet.get(i + 1) {
+            heads.push(Reverse((next.start, s, i + 1)));
+        }
     }
 
-    merged.hourly_loss = outputs[0].report.hourly_loss.clone();
+    merged.hourly_loss = std::mem::take(&mut outputs[0].report.hourly_loss);
     merged.faults_injected = outputs[0].report.faults_injected;
     merged.recoveries_livenet = merge_recoveries(&outputs, |r| &r.recoveries_livenet);
     merged.recoveries_hier = merge_recoveries(&outputs, |r| &r.recoveries_hier);
@@ -252,17 +256,22 @@ fn merge_recoveries(
     outputs: &[ShardOutput],
     pick: impl Fn(&FleetReport) -> &Vec<RecoveryRecord>,
 ) -> Vec<RecoveryRecord> {
-    let mut order: Vec<(SimTime, usize, usize)> = Vec::new();
-    for (s, out) in outputs.iter().enumerate() {
-        for (i, rec) in pick(&out.report).iter().enumerate() {
-            order.push((rec.at, s, i));
+    let total: usize = outputs.iter().map(|o| pick(&o.report).len()).sum();
+    let mut merged = Vec::with_capacity(total);
+    let mut heads: BinaryHeap<Reverse<(SimTime, usize, usize)>> = outputs
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| !pick(&o.report).is_empty())
+        .map(|(s, o)| Reverse((pick(&o.report)[0].at, s, 0)))
+        .collect();
+    while let Some(Reverse((_, s, i))) = heads.pop() {
+        let recs = pick(&outputs[s].report);
+        merged.push(recs[i]);
+        if let Some(next) = recs.get(i + 1) {
+            heads.push(Reverse((next.at, s, i + 1)));
         }
     }
-    order.sort_unstable();
-    order
-        .iter()
-        .map(|&(_, s, i)| pick(&outputs[s].report)[i])
-        .collect()
+    merged
 }
 
 #[cfg(test)]
@@ -296,14 +305,35 @@ mod tests {
     }
 
     #[test]
-    fn popular_head_is_co_sharded() {
+    fn partition_balances_zipf_head_load() {
         let cfg = tiny_config(2);
         let plans = partition_channels(&cfg);
-        let cut = (cfg.workload.channels as f64 * cfg.workload.popular_fraction).ceil() as usize;
-        let head = &plans[0];
-        assert_eq!(head.index, 0);
-        for c in 0..cut {
-            assert!(head.channels.contains(&c), "head channel {c} not on shard 0");
+        let zipf = ZipfTable::new(cfg.workload.channels, cfg.workload.zipf_s);
+        let total: f64 = (0..cfg.workload.channels).map(|k| zipf.pmf(k)).sum();
+        let heaviest = zipf.pmf(0) / total;
+        let ideal = 1.0 / plans.len() as f64;
+        // LPT guarantee: a channel only lands on the lightest shard, so no
+        // shard's share exceeds the ideal by more than the heaviest single
+        // channel — the Zipf head cannot pile up on shard 0 anymore.
+        for p in &plans {
+            assert!(
+                p.mass_share <= ideal + heaviest + 1e-9,
+                "shard {} carries {:.4} > ideal {:.4} + head {:.4}",
+                p.index,
+                p.mass_share,
+                ideal,
+                heaviest
+            );
+        }
+        // And the head channels really are spread out: ranks 0..shards sit
+        // on pairwise distinct shards (each was placed on an empty shard).
+        let mut head_homes = HashSet::new();
+        for rank in 0..plans.len() {
+            let home = plans
+                .iter()
+                .position(|p| p.channels.contains(&rank))
+                .unwrap();
+            assert!(head_homes.insert(home), "rank {rank} co-sharded");
         }
     }
 
@@ -379,6 +409,101 @@ mod tests {
                 "session counter mismatch at {shards} shards"
             );
             assert!(!serial.telemetry.to_json().is_empty());
+        }
+    }
+
+    #[test]
+    fn shard_width_regression_reports_bit_identical() {
+        // Regression for the streaming merge rewrite: at widths 1/2/4/8,
+        // with and without a replicated Brain, serial and parallel runs
+        // must still produce byte-equal FleetReports.
+        use crate::control::ReplicationConfig;
+        for replicated in [false, true] {
+            for shards in [1usize, 2, 4, 8] {
+                let mut b = FleetConfigBuilder::from_config(tiny_config(31)).shards(shards);
+                if replicated {
+                    b = b.replication(ReplicationConfig::default());
+                }
+                let runner = FleetRunner::new(b.build().unwrap()).unwrap();
+                let serial = runner.run_serial();
+                let parallel = runner.run_parallel(shards.max(2));
+                assert!(
+                    serial.bit_identical(&parallel),
+                    "report diverged at {shards} shards (replicated: {replicated})"
+                );
+                assert!(!serial.livenet.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn opt_in_idle_lease_stretch_amortizes_decrees_and_stays_deterministic() {
+        use crate::control::ReplicationConfig;
+        let run = |stretch: f64| {
+            let cfg = FleetConfigBuilder::from_config(tiny_config(41))
+                .shards(2)
+                .replication(ReplicationConfig {
+                    idle_lease_stretch: stretch,
+                    ..ReplicationConfig::default()
+                })
+                .build()
+                .unwrap();
+            let runner = FleetRunner::new(cfg).unwrap();
+            let serial = runner.run_serial();
+            let parallel = runner.run_parallel(2);
+            assert!(
+                serial.bit_identical(&parallel),
+                "stretch {stretch} broke serial/parallel bit-identity"
+            );
+            serial.replication.clone().expect("replicated run")
+        };
+        let plain = run(1.0);
+        let stretched = run(20.0);
+        assert_eq!(stretched.give_ups, 0);
+        assert!(
+            stretched.lease_renewals * 2 < plain.lease_renewals,
+            "stretch did not amortize: {} vs {} renewals",
+            stretched.lease_renewals,
+            plain.lease_renewals
+        );
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_partition_load_skew_is_bounded(
+            channels in 8usize..400,
+            shards in 1usize..16,
+            zipf_s in 0.5f64..1.6,
+        ) {
+            let mut cfg = FleetConfig::smoke(1);
+            cfg.workload.channels = channels;
+            cfg.workload.zipf_s = zipf_s;
+            cfg.shards = shards;
+            let plans = partition_channels(&cfg);
+            // Every channel appears exactly once.
+            let mut seen = vec![0u32; channels];
+            for p in &plans {
+                for &c in &p.channels {
+                    seen[c] += 1;
+                }
+            }
+            proptest::prop_assert!(seen.iter().all(|&n| n == 1));
+            let total_share: f64 = plans.iter().map(|p| p.mass_share).sum();
+            proptest::prop_assert!((total_share - 1.0).abs() < 1e-9);
+            // Bounded skew even under Zipf-head workloads: no shard may
+            // exceed the ideal share by more than the heaviest channel.
+            let zipf = ZipfTable::new(channels, zipf_s);
+            let total: f64 = (0..channels).map(|k| zipf.pmf(k)).sum();
+            let heaviest = zipf.pmf(0) / total;
+            let ideal = 1.0 / shards.clamp(1, channels) as f64;
+            for p in &plans {
+                proptest::prop_assert!(
+                    p.mass_share <= ideal + heaviest + 1e-9,
+                    "shard {} share {:.4} ideal {:.4} head {:.4}",
+                    p.index, p.mass_share, ideal, heaviest
+                );
+            }
         }
     }
 

@@ -225,6 +225,34 @@ impl Workload {
         SimTime::from_secs(u64::from(self.config.days) * 86_400)
     }
 
+    /// Expected session count for this generator (shard-rate aware).
+    ///
+    /// Integrates the thinned Poisson rate numerically over the horizon;
+    /// used to pre-size session and telemetry buffers so the hot loop
+    /// never reallocates. The estimate only affects capacity, never
+    /// results.
+    pub fn expected_sessions(&self) -> usize {
+        // Mean diurnal factor at minute resolution.
+        let mean_diurnal: f64 = (0..1440)
+            .map(|m| diurnal_factor(f64::from(m) / 60.0))
+            .sum::<f64>()
+            / 1440.0;
+        let mut total = 0.0;
+        for day in 0..self.config.days {
+            let festival = if self.config.festival_days.contains(&day) {
+                self.config.festival_factor
+            } else {
+                1.0
+            };
+            total += 86_400.0
+                * self.config.peak_arrivals_per_sec
+                * self.rate_share
+                * mean_diurnal
+                * festival;
+        }
+        total.ceil() as usize
+    }
+
     /// Draw the next session, or `None` past the horizon.
     ///
     /// Uses Poisson thinning: candidate arrivals at the peak rate, kept

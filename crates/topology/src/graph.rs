@@ -242,6 +242,21 @@ impl Topology {
             .flat_map(|(f, m)| m.iter().map(move |(t, v)| (*f, *t, v)))
     }
 
+    /// All directed links mutably, same deterministic order as
+    /// [`Topology::links`] (bulk measurement updates without per-link
+    /// lookups).
+    pub fn links_mut(&mut self) -> impl Iterator<Item = (NodeId, NodeId, &mut LinkMetrics)> {
+        self.links.iter_mut().flat_map(|(f, m)| {
+            let from = *f;
+            m.iter_mut().map(move |(t, v)| (from, *t, v))
+        })
+    }
+
+    /// All nodes mutably in deterministic (id) order.
+    pub fn nodes_mut(&mut self) -> impl Iterator<Item = &mut NodeInfo> {
+        self.nodes.values_mut()
+    }
+
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.nodes.len()

@@ -8,7 +8,7 @@
 use crate::graph::Topology;
 use livenet_types::{NodeId, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 
 /// The pre-defined overload target (80%, paper §4.2 / §4.3 constraint ii).
 pub const OVERLOAD_TARGET: f64 = 0.80;
@@ -44,10 +44,14 @@ pub struct NodeReport {
 }
 
 /// The assembled global view: freshest known state per node and link.
+///
+/// Backed by hash maps: every read/write is point access, and the only
+/// iteration ([`GlobalView::apply_to`]) writes disjoint keys, so the
+/// result never depends on iteration order.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct GlobalView {
-    node_util: BTreeMap<NodeId, (SimTime, f64)>,
-    link_state: BTreeMap<(NodeId, NodeId), (SimTime, LinkReport)>,
+    node_util: HashMap<NodeId, (SimTime, f64)>,
+    link_state: HashMap<(NodeId, NodeId), (SimTime, LinkReport)>,
 }
 
 impl GlobalView {
@@ -106,6 +110,32 @@ impl GlobalView {
                 l.rtt = report.rtt;
                 l.loss = report.loss;
                 l.utilization = report.utilization;
+            }
+        }
+    }
+
+    /// Write through only the keys named by `report`, using the view's
+    /// stored (newest-wins) values for those keys.
+    ///
+    /// Equivalent to a full [`GlobalView::apply_to`] after absorbing
+    /// `report`, provided the topology's measured fields only change via
+    /// these two methods: keys the report does not mention already hold
+    /// the view's freshest value from an earlier write-through. Turns the
+    /// per-report cost from O(view) into O(report).
+    pub fn apply_report(&self, report: &NodeReport, topology: &mut Topology) {
+        if let Some(&(_, util)) = self.node_util.get(&report.node) {
+            if let Some(n) = topology.node_mut(report.node) {
+                n.utilization = util;
+            }
+        }
+        for lr in &report.links {
+            let Some(&(_, stored)) = self.link_state.get(&(report.node, lr.to)) else {
+                continue;
+            };
+            if let Some(l) = topology.link_mut(report.node, lr.to) {
+                l.rtt = stored.rtt;
+                l.loss = stored.loss;
+                l.utilization = stored.utilization;
             }
         }
     }

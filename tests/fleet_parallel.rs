@@ -1,7 +1,8 @@
 //! Determinism contract of the sharded fleet runner: `run_parallel(n)`
 //! must be bit-identical to `run_serial()` for every seed and thread
-//! count, the Zipf head must stay co-sharded, and the sharded run must
-//! preserve the paper's headline LiveNet-vs-Hier gap.
+//! count, the partition must keep per-shard load within bounded skew,
+//! and the sharded run must preserve the paper's headline
+//! LiveNet-vs-Hier gap.
 
 use livenet::prelude::*;
 use livenet::sim::metrics::summarize;
@@ -36,27 +37,26 @@ fn parallel_bit_identical_to_serial_across_seeds_and_widths() {
 }
 
 #[test]
-fn zipf_head_stays_co_sharded() {
+fn zipf_head_load_is_balanced_across_shards() {
     let cfg = sharded(81);
     let plans = partition_channels(&cfg);
     assert!(plans.len() > 1, "expected a real partition");
-    // Regression: the popular head channels (the prefetch set) must all
-    // live on one shard so their viewers share caches and realized paths.
-    let cut = (cfg.workload.channels as f64 * cfg.workload.popular_fraction).ceil() as usize;
-    assert!(cut >= 2, "smoke preset should have a multi-channel head");
-    let owners: Vec<usize> = (0..cut)
-        .map(|c| {
-            plans
-                .iter()
-                .find(|p| p.channels.contains(&c))
-                .expect("head channel unassigned")
-                .index
-        })
-        .collect();
+    // Regression for the LPT partition: the Zipf head spreads across
+    // shards (the old head-group rule co-sharded it and capped speedup at
+    // ~1/head_mass), and no shard exceeds the ideal mass share by more
+    // than the heaviest single channel.
+    let max_share = plans.iter().map(|p| p.mass_share).fold(0.0, f64::max);
+    let ideal = 1.0 / plans.len() as f64;
+    let zipf = livenet::types::ZipfTable::new(cfg.workload.channels, cfg.workload.zipf_s);
+    let total_mass: f64 = (0..cfg.workload.channels).map(|k| zipf.pmf(k)).sum();
+    let heaviest = zipf.pmf(0) / total_mass;
     assert!(
-        owners.iter().all(|&o| o == owners[0]),
-        "head channels split across shards: {owners:?}"
+        max_share <= ideal + heaviest + 1e-9,
+        "max shard share {max_share:.4} exceeds ideal {ideal:.4} + head"
     );
+    // The two most popular channels must not share a shard.
+    let owner = |c: usize| plans.iter().find(|p| p.channels.contains(&c)).unwrap().index;
+    assert_ne!(owner(0), owner(1), "ranks 0 and 1 co-sharded");
     // Every channel is assigned exactly once and the mass shares cover
     // the whole distribution.
     let mut seen = vec![0u32; cfg.workload.channels];
