@@ -1,170 +1,425 @@
-//! Real-socket wire experiment: the 4-node diamond on 127.0.0.1.
+//! Real-socket wire experiment: a 50+ node geo edge fleet on 127.0.0.1.
 //!
-//! Runs the full LiveNet overlay — brain, 4 `UdpOverlayNode`s, a paced
-//! broadcaster, and two feedback-sending viewers — over real loopback UDP
-//! via `livenet_transport::testbed`, then runs the emulator's packet-level
-//! simulation of the same active path (producer → relay → consumer at the
-//! diamond's best-weight route) with the same GoP, bitrate, and duration.
-//! The two result columns land side by side in `BENCH_wire.json`, with
-//! the run's telemetry snapshot attached — the wall-clock counterpart of
-//! the paper's emulated experiments (DESIGN.md §10).
+//! Builds the [`TestbedBuilder::geo_fleet`] overlay — per-country hub
+//! backbone, region-clustered edge nodes, last-resort relays, edges and
+//! RTTs from `livenet-topology`'s generator — and drives hundreds of
+//! concurrent real-socket viewers whose staggered arrivals come from
+//! `livenet-sim`'s Taobao-shaped workload. Three result sections land in
+//! `BENCH_wire.json`:
 //!
-//! One viewer turns synthetically lossy mid-run to demonstrate client
-//! RTCP receiver reports driving the sender-side cc loop over the wire.
+//! 1. **Wire run** — startup / E2E-delay distributions, streaming-phase
+//!    delivery, and the RTCP-feedback→cc demonstration (every viewer in
+//!    the busiest country turns synthetically lossy mid-run).
+//! 2. **Agreement gate** — the same media parameters through the packet
+//!    emulator over the fleet's modal path shape (producer hub → home
+//!    hub → edge node, chain delays = the median wired RTT per hop, the
+//!    same convention the diamond experiment used), with emulator viewers
+//!    joining at the wire join-time quantiles. The run asserts the wire
+//!    and emulator startup/E2E medians agree within tolerance.
+//! 3. **Load generator** — achievable datagrams/sec per core through
+//!    [`BatchSocket`], batched (`sendmmsg`/`recvmmsg`) vs the portable
+//!    sequential fallback.
 //!
 //! ```sh
-//! cargo run --release --bin exp_wire
+//! cargo run --release --bin exp_wire            # full: ≥200 viewers
+//! cargo run --release --bin exp_wire -- --smoke # CI gate: capped run
 //! ```
 
+use bytes::Bytes;
 use livenet_bench::{Report, SEED};
-use livenet_sim::packetsim::ChainLink;
+use livenet_sim::packetsim::{ChainLink, ViewerSpec};
 use livenet_sim::{PacketSim, PacketSimConfig};
-use livenet_transport::{testbed, TestbedConfig};
-use livenet_types::{SimDuration, SimTime, StreamId};
-use std::time::Duration;
+use livenet_topology::GeoConfig;
+use livenet_transport::{
+    testbed, BatchBackend, BatchSocket, RecvBatch, SendDatagram, TestbedBuilder, TestbedConfig,
+    MAX_BATCH,
+};
+use livenet_types::{Bandwidth, SimDuration, SimTime, StreamId};
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
 
 const STREAM: StreamId = StreamId(900);
+
+/// Spoke fan-out of every edge node (home hub + closest foreign hub).
+const FANOUT: usize = 2;
+
+/// Agreement tolerances: the wire median must sit within these of the
+/// emulator median. Generous by design — the wire measures wall-clock
+/// startup through a busy single-core executor while the emulator is an
+/// idealized event loop — but tight enough to catch a broken datapath
+/// (an unserved GoP-cache burst or a mis-accumulated delay field blows
+/// straight through them).
+const STARTUP_TOL_ABS_MS: f64 = 150.0;
+const STARTUP_TOL_REL: f64 = 0.8;
+const E2E_TOL_ABS_MS: f64 = 50.0;
+const E2E_TOL_REL: f64 = 0.6;
+
+fn local() -> SocketAddr {
+    "127.0.0.1:0".parse().expect("loopback addr")
+}
+
+fn cores() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
 
 fn fmt_opt_ms(v: Option<f64>) -> String {
     v.map(|ms| format!("{ms:.1}")).unwrap_or_else(|| "—".into())
 }
 
-/// Emulator run over the diamond's active path (0→1→3: 8 ms + 8 ms), with
-/// media parameters matching the wire run.
-fn emulator_config(wire: &TestbedConfig) -> PacketSimConfig {
-    let mut cfg = PacketSimConfig::three_node_chain(0.0, SEED);
-    cfg.links = vec![ChainLink::healthy(8), ChainLink::healthy(8)];
-    cfg.gop = wire.gop;
-    cfg.bitrate = wire.bitrate;
-    cfg.duration = SimDuration::from_nanos(wire.broadcast.as_nanos() as u64);
-    cfg.drain = SimDuration::from_nanos(wire.drain.as_nanos() as u64);
-    cfg.viewers[0].join_at = SimTime::from_millis(100);
-    cfg
+fn median(sorted: &[f64]) -> Option<f64> {
+    testbed::percentile(sorted, 0.5)
+}
+
+/// Wired hop delays (ms) from the producer to one viewer node, following
+/// the hub-and-spoke shape: direct edge if one exists, else the cheapest
+/// two-hop relay. Chain-link delay == wired edge RTT value, the same
+/// convention the diamond experiment established.
+fn hops_to(cfg: &TestbedConfig, rtt: &HashMap<(usize, usize), f64>, node: usize) -> Vec<f64> {
+    if node == cfg.producer {
+        return Vec::new();
+    }
+    if let Some(&ms) = rtt.get(&(cfg.producer, node)) {
+        return vec![ms];
+    }
+    let mut best: Option<(f64, f64)> = None;
+    for mid in 0..cfg.nodes {
+        if let (Some(&a), Some(&b)) =
+            (rtt.get(&(cfg.producer, mid)), rtt.get(&(mid, node)))
+        {
+            if best.is_none_or(|(x, y)| a + b < x + y) {
+                best = Some((a, b));
+            }
+        }
+    }
+    let (a, b) = best.expect("geo wiring reaches every node within two hops");
+    vec![a, b]
+}
+
+/// The emulator counterpart: a chain over the fleet's modal path shape,
+/// per-hop delay = median wired RTT of that hop across all viewers, with
+/// emulator viewers joining at the wire join-time quantiles.
+fn emulator_config(cfg: &TestbedConfig) -> PacketSimConfig {
+    let mut rtt: HashMap<(usize, usize), f64> = HashMap::new();
+    for &(a, b, r) in &cfg.edges {
+        rtt.insert((a, b), r.as_millis_f64());
+        rtt.insert((b, a), r.as_millis_f64());
+    }
+    let paths: Vec<Vec<f64>> = cfg
+        .viewers
+        .iter()
+        .map(|v| hops_to(cfg, &rtt, v.node))
+        .filter(|h| !h.is_empty())
+        .collect();
+    // Modal shape: the hop count most viewers share (2 on the geo fleet).
+    let modal_len = (1..=2)
+        .max_by_key(|&l| paths.iter().filter(|p| p.len() == l).count())
+        .expect("nonempty hop-count range");
+    let modal: Vec<&Vec<f64>> = paths.iter().filter(|p| p.len() == modal_len).collect();
+    let links: Vec<ChainLink> = (0..modal_len)
+        .map(|k| {
+            let mut hop: Vec<f64> = modal.iter().map(|p| p[k]).collect();
+            hop.sort_by(f64::total_cmp);
+            ChainLink::healthy(median(&hop).unwrap_or(10.0).round() as u64)
+        })
+        .collect();
+
+    let mut joins: Vec<f64> = cfg
+        .viewers
+        .iter()
+        .map(|v| v.join_after.as_secs_f64() * 1000.0)
+        .collect();
+    joins.sort_by(f64::total_cmp);
+    let viewers: Vec<ViewerSpec> = (1..=9)
+        .map(|d| {
+            let at = testbed::percentile(&joins, d as f64 / 10.0).unwrap_or(0.0);
+            ViewerSpec {
+                node_index: links.len(),
+                join_at: SimTime::from_millis((at as u64).max(50)),
+                downlink: Bandwidth::from_mbps(50),
+            }
+        })
+        .collect();
+
+    let mut emu = PacketSimConfig::three_node_chain(0.0, SEED);
+    emu.links = links;
+    emu.gop = cfg.gop;
+    emu.bitrate = cfg.bitrate;
+    emu.duration = SimDuration::from_nanos(cfg.broadcast.as_nanos() as u64);
+    emu.drain = SimDuration::from_nanos(cfg.drain.as_nanos() as u64);
+    emu.viewers = viewers;
+    emu
+}
+
+struct LoadgenResult {
+    sent: u64,
+    received: u64,
+    secs: f64,
+}
+
+/// Blast 1200-byte datagrams through one loopback socket pair for `dur`,
+/// send and receive interleaved on this core, and count what arrives —
+/// the achievable full-duplex datagram rate of one backend on one core.
+fn loadgen(backend: BatchBackend, dur: Duration) -> LoadgenResult {
+    let tx = BatchSocket::bind(local(), backend).expect("bind loadgen tx");
+    let rx = BatchSocket::bind(local(), backend).expect("bind loadgen rx");
+    let payload = Bytes::from(vec![0u8; 1200]);
+    let msgs: Vec<SendDatagram> = (0..MAX_BATCH)
+        .map(|_| SendDatagram { to: rx.local_addr(), payload: payload.clone() })
+        .collect();
+    let mut batch = RecvBatch::new(MAX_BATCH, 2048);
+    let (mut sent, mut received) = (0u64, 0u64);
+    let start = Instant::now();
+    while start.elapsed() < dur {
+        if let Ok(n) = tx.try_send_batch(&msgs) {
+            sent += n as u64;
+        }
+        while let Ok(k) = rx.try_recv_batch(&mut batch) {
+            if k == 0 {
+                break;
+            }
+            received += k as u64;
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    // Drain stragglers still sitting in the loopback receive buffer.
+    let drain_until = Instant::now() + Duration::from_millis(50);
+    while Instant::now() < drain_until {
+        match rx.try_recv_batch(&mut batch) {
+            Ok(k) if k > 0 => received += k as u64,
+            _ => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+    LoadgenResult { sent, received, secs }
 }
 
 #[tokio::main(flavor = "multi_thread", worker_threads = 4)]
 async fn main() {
-    let mut cfg = TestbedConfig::diamond(STREAM);
-    // Viewer 1 reports 30% loss after 2 s: the cc demonstration.
-    cfg.viewers[1].lossy_rr = Some((Duration::from_secs(2), 0.3));
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (viewer_count, broadcast, drain, loadgen_dur) = if smoke {
+        (72, Duration::from_secs(4), Duration::from_millis(1200), Duration::from_millis(400))
+    } else {
+        (220, Duration::from_secs(6), Duration::from_millis(1500), Duration::from_millis(1500))
+    };
+
+    let geo = GeoConfig::paper_scale(SEED);
+    let mut cfg = TestbedBuilder::geo_fleet(STREAM, &geo, viewer_count, FANOUT, SEED)
+        .broadcast(broadcast)
+        .drain(drain)
+        .build()
+        .expect("geo_fleet preset is valid");
+
+    // Congest the busiest viewer country: every viewer there reports 30%
+    // loss from a third of the way in, so the consumer cores' GCC loops
+    // must react region-wide.
+    let mut per_country = vec![0usize; cfg.countries.iter().map(|&c| c as usize + 1).max().unwrap_or(1)];
+    for v in &cfg.viewers {
+        per_country[cfg.country_of(v.node) as usize] += 1;
+    }
+    let congested = per_country
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, n)| *n)
+        .map(|(c, _)| c as u32)
+        .expect("at least one country");
+    let lossy_from = broadcast / 3;
+    let mut lossy_viewers = 0u64;
+    for v in &mut cfg.viewers {
+        if cfg.countries[v.node] == congested {
+            v.lossy_rr = Some((lossy_from, 0.3));
+            lossy_viewers += 1;
+        }
+    }
 
     let mut out = Report::new(
-        "real-socket wire datapath (4-node diamond on 127.0.0.1)",
-        "§4.4, §5.1; DESIGN.md §10",
+        "real-socket wire datapath (geo edge fleet on 127.0.0.1)",
+        "§2.2, §4.4, §5.1; DESIGN.md §13",
     );
     out.meta("seed", SEED.to_string());
-    out.meta("topology", "diamond 0→{1,2}→3, producer 0, 2 viewers at 3");
+    out.meta("mode", if smoke { "smoke" } else { "full" });
+    out.meta("cores", cores().to_string());
+    out.meta("nodes", cfg.nodes.to_string());
+    out.meta("viewers", cfg.viewers.len().to_string());
+    out.meta("fanout", FANOUT.to_string());
+    out.meta("congested_country", congested.to_string());
     out.meta(
         "broadcast",
         format!("{:.1}s @ {} kbps", cfg.broadcast.as_secs_f64(), cfg.bitrate.as_bps() / 1000),
     );
 
-    let wire = testbed::run(cfg.clone()).await;
+    assert!(cfg.nodes >= 50, "geo fleet too small: {} nodes", cfg.nodes);
+    if !smoke {
+        assert!(cfg.viewers.len() >= 200, "full mode drives ≥200 viewers");
+    }
 
-    let emu = PacketSim::new(emulator_config(&cfg)).run();
-    let emu_frames: &Vec<(SimTime, u32, Option<SimDuration>)> =
-        emu.client_frames.first().expect("emulator viewer log");
-    let emu_startup_ms = emu
-        .viewers
-        .first()
-        .and_then(|(_, q)| q.startup)
-        .map(|d| d.as_millis_f64());
-    let emu_delays: Vec<f64> = emu_frames
-        .iter()
-        .filter_map(|(_, _, d)| d.map(|d| d.as_millis_f64()))
-        .collect();
-    let emu_mean_e2e = (!emu_delays.is_empty())
-        .then(|| emu_delays.iter().sum::<f64>() / emu_delays.len() as f64);
-    let emu_total = (cfg.broadcast.as_nanos() as u64
-        / cfg.gop.frame_interval().as_nanos().max(1)) as f64;
-    let emu_delivery = emu_frames.len() as f64 / emu_total.max(1.0);
+    let emu_cfg = emulator_config(&cfg);
+    let wire = testbed::run(cfg.clone()).await.expect("validated config runs");
 
-    out.heading("Wire (loopback UDP) vs emulator, same active path");
-    let wire_v0 = &wire.viewers[0];
+    // ---- Wire distributions -------------------------------------------
+    let startup = wire.startup_ms_sorted();
+    let e2e = wire.e2e_ms_sorted();
+    let wire_startup_med = median(&startup).expect("viewers measured startup");
+    let wire_startup_p90 = testbed::percentile(&startup, 0.9).expect("startup p90");
+    let wire_e2e_med = median(&e2e).expect("viewers measured E2E delay");
+
+    out.heading("Wire run: geo fleet viewer distributions");
     out.table(
-        &["metric", "wire viewer 0", "wire viewer 1", "emulator viewer"],
+        &["metric", "median", "p90", "viewers measured"],
         &[
             vec![
                 "startup delay (ms)".into(),
-                fmt_opt_ms(wire_v0.startup_ms),
-                fmt_opt_ms(wire.viewers[1].startup_ms),
-                fmt_opt_ms(emu_startup_ms),
-            ],
-            vec![
-                "first packet (ms)".into(),
-                fmt_opt_ms(wire_v0.first_packet_ms),
-                fmt_opt_ms(wire.viewers[1].first_packet_ms),
-                "—".into(),
+                format!("{wire_startup_med:.1}"),
+                format!("{wire_startup_p90:.1}"),
+                startup.len().to_string(),
             ],
             vec![
                 "mean E2E delay field (ms)".into(),
-                fmt_opt_ms(wire_v0.mean_e2e_ms),
-                fmt_opt_ms(wire.viewers[1].mean_e2e_ms),
-                fmt_opt_ms(emu_mean_e2e),
-            ],
-            vec![
-                "frames completed".into(),
-                wire_v0.frames_completed.to_string(),
-                wire.viewers[1].frames_completed.to_string(),
-                emu_frames.len().to_string(),
-            ],
-            vec![
-                "delivery completeness".into(),
-                format!("{:.1}%", 100.0 * wire_v0.frames_completed as f64
-                    / wire.frames_broadcast.max(1) as f64),
-                format!("{:.1}%", 100.0 * wire.viewers[1].frames_completed as f64
-                    / wire.frames_broadcast.max(1) as f64),
-                format!("{:.1}%", 100.0 * emu_delivery),
+                format!("{wire_e2e_med:.1}"),
+                fmt_opt_ms(testbed::percentile(&e2e, 0.9)),
+                e2e.len().to_string(),
             ],
         ],
     );
     out.note(format!(
-        "wire broadcast {} frames; worst-viewer delivery {:.1}%",
+        "broadcast {} frames over {} nodes; worst streaming-phase delivery {:.1}%; \
+         {} staggered arrivals from the workload replay",
         wire.frames_broadcast,
+        cfg.nodes,
         100.0 * wire.worst_delivery(),
+        cfg.viewers.iter().filter(|v| !v.join_after.is_zero()).count(),
     ));
 
-    out.heading("Client RTCP feedback → sender-side cc (over real UDP)");
-    let lossy = wire.viewers[1].client;
-    let lossy_rate = wire
-        .client_rates
+    // ---- Emulator agreement gate --------------------------------------
+    let emu = PacketSim::new(emu_cfg).run();
+    let mut emu_startup: Vec<f64> = emu
+        .viewers
         .iter()
-        .find(|(c, _)| *c == lossy)
-        .and_then(|(_, r)| *r);
+        .filter_map(|(_, q)| q.startup.map(|d| d.as_millis_f64()))
+        .collect();
+    emu_startup.sort_by(f64::total_cmp);
+    let mut emu_e2e: Vec<f64> = emu
+        .client_frames
+        .iter()
+        .filter_map(|frames| {
+            let d: Vec<f64> = frames
+                .iter()
+                .filter_map(|(_, _, d)| d.map(|d| d.as_millis_f64()))
+                .collect();
+            (!d.is_empty()).then(|| d.iter().sum::<f64>() / d.len() as f64)
+        })
+        .collect();
+    emu_e2e.sort_by(f64::total_cmp);
+    let emu_startup_med = median(&emu_startup).expect("emulator viewers started");
+    let emu_e2e_med = median(&emu_e2e).expect("emulator viewers measured delay");
+
+    let startup_delta = (wire_startup_med - emu_startup_med).abs();
+    let e2e_delta = (wire_e2e_med - emu_e2e_med).abs();
+    let startup_tol = STARTUP_TOL_ABS_MS.max(STARTUP_TOL_REL * emu_startup_med);
+    let e2e_tol = E2E_TOL_ABS_MS.max(E2E_TOL_REL * emu_e2e_med);
+
+    out.heading("Agreement: wire vs packet emulator, modal path shape");
     out.table(
-        &["quantity", "value"],
+        &["metric", "wire median", "emulator median", "|delta|", "tolerance"],
         &[
-            vec!["rate increases".into(), wire.cc.increases.to_string()],
-            vec!["rate holds".into(), wire.cc.holds.to_string()],
-            vec!["rate decreases".into(), wire.cc.decreases.to_string()],
             vec![
-                "lossy viewer final pacing rate (kbps)".into(),
-                lossy_rate
-                    .map(|r| (r.as_bps() / 1000).to_string())
-                    .unwrap_or_else(|| "—".into()),
+                "startup delay (ms)".into(),
+                format!("{wire_startup_med:.1}"),
+                format!("{emu_startup_med:.1}"),
+                format!("{startup_delta:.1}"),
+                format!("{startup_tol:.1}"),
             ],
             vec![
-                "lossy viewer RRs sent".into(),
-                wire.viewers[1].rr_sent.to_string(),
+                "mean E2E delay field (ms)".into(),
+                format!("{wire_e2e_med:.1}"),
+                format!("{emu_e2e_med:.1}"),
+                format!("{e2e_delta:.1}"),
+                format!("{e2e_tol:.1}"),
             ],
         ],
     );
     out.note(
-        "viewer 1's receiver reports claim 30% loss after t=2s; the consumer's \
-         GCC sender reacts and the client pacer rate drops — feedback that was \
-         silently discarded before the client-datagram routing fix.",
+        "emulator chain = modal wired path (median RTT per hop), emulator \
+         viewers join at the wire join-time quantiles; same GoP, bitrate, \
+         duration, and drain as the wire run.",
     );
 
-    // Acceptance gates: ≥99% delivery, feedback-driven rate change.
+    // ---- RTCP feedback → cc over the congested region ------------------
+    let cc_decreases_congested = wire.cc_decreases_in_country(congested);
+    out.heading("Client RTCP feedback → sender-side cc (congested region)");
+    out.table(
+        &["quantity", "value"],
+        &[
+            vec!["lossy viewers (busiest country)".into(), lossy_viewers.to_string()],
+            vec![
+                "cc decreases in congested country".into(),
+                cc_decreases_congested.to_string(),
+            ],
+            vec!["cc decreases fleet-wide".into(), wire.cc.decreases.to_string()],
+            vec!["cc increases fleet-wide".into(), wire.cc.increases.to_string()],
+        ],
+    );
+
+    // ---- Load generator ------------------------------------------------
+    let mmsg = loadgen(BatchBackend::auto(), loadgen_dur);
+    let seq = loadgen(BatchBackend::Sequential, loadgen_dur);
+    let n_cores = cores() as f64;
+    let mmsg_dps = mmsg.received as f64 / mmsg.secs;
+    let seq_dps = seq.received as f64 / seq.secs;
+    out.heading("Load generator: datagrams/sec per core (1200 B, full duplex)");
+    out.table(
+        &["backend", "sent", "delivered", "datagrams/s", "datagrams/s/core"],
+        &[
+            vec![
+                format!("{:?}", BatchBackend::auto()),
+                mmsg.sent.to_string(),
+                mmsg.received.to_string(),
+                format!("{mmsg_dps:.0}"),
+                format!("{:.0}", mmsg_dps / n_cores),
+            ],
+            vec![
+                "Sequential".into(),
+                seq.sent.to_string(),
+                seq.received.to_string(),
+                format!("{seq_dps:.0}"),
+                format!("{:.0}", seq_dps / n_cores),
+            ],
+        ],
+    );
+
+    // ---- Machine-readable summary + gates ------------------------------
+    out.meta("wire_startup_median_ms", format!("{wire_startup_med:.1}"));
+    out.meta("wire_startup_p90_ms", format!("{wire_startup_p90:.1}"));
+    out.meta("wire_e2e_median_ms", format!("{wire_e2e_med:.1}"));
+    out.meta("emu_startup_median_ms", format!("{emu_startup_med:.1}"));
+    out.meta("emu_e2e_median_ms", format!("{emu_e2e_med:.1}"));
+    out.meta("startup_delta_ms", format!("{startup_delta:.1}"));
+    out.meta("startup_tolerance_ms", format!("{startup_tol:.1}"));
+    out.meta("e2e_delta_ms", format!("{e2e_delta:.1}"));
+    out.meta("e2e_tolerance_ms", format!("{e2e_tol:.1}"));
+    out.meta("worst_delivery", format!("{:.4}", wire.worst_delivery()));
+    out.meta("frames_broadcast", wire.frames_broadcast.to_string());
+    out.meta("loadgen_auto_dps", format!("{mmsg_dps:.0}"));
+    out.meta("loadgen_sequential_dps", format!("{seq_dps:.0}"));
+    out.meta("loadgen_dps_per_core", format!("{:.0}", mmsg_dps / n_cores));
+
+    let worst = wire.worst_delivery();
+    assert!(worst >= 0.99, "delivery below 99%: {worst:.3}");
     assert!(
-        wire.worst_delivery() >= 0.99,
-        "delivery below 99%: {:.3}",
-        wire.worst_delivery()
+        cc_decreases_congested >= 1,
+        "congested-region feedback drove no cc decrease: {:?}",
+        wire.cc
     );
     assert!(
-        wire.cc.decreases >= 1,
-        "client feedback drove no cc rate decrease: {:?}",
-        wire.cc
+        startup_delta <= startup_tol,
+        "wire startup diverged from emulator: {startup_delta:.1}ms > {startup_tol:.1}ms"
+    );
+    assert!(
+        e2e_delta <= e2e_tol,
+        "wire E2E diverged from emulator: {e2e_delta:.1}ms > {e2e_tol:.1}ms"
+    );
+    assert!(
+        wire.telemetry.counter("transport.batch_rx_syscalls") > 0,
+        "batched receive path never exercised"
     );
 
     out.telemetry(&wire.telemetry);

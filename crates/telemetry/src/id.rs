@@ -203,6 +203,21 @@ pub mod ids {
     /// Wall-clock time spent dispatching one received datagram through
     /// the core and applying its actions, ms.
     pub const TRANSPORT_RX_DISPATCH_MS: MetricId = MetricId("transport.rx_dispatch_ms");
+
+    // ---- transport.batch: batched datagram I/O (sendmmsg/recvmmsg) ----
+
+    /// Send-side batch syscalls issued (`sendmmsg`, or one per datagram on
+    /// the portable fallback backend).
+    pub const TRANSPORT_BATCH_TX_SYSCALLS: MetricId = MetricId("transport.batch_tx_syscalls");
+    /// Receive-side batch syscalls that returned at least one datagram.
+    pub const TRANSPORT_BATCH_RX_SYSCALLS: MetricId = MetricId("transport.batch_rx_syscalls");
+    /// Datagrams handed to the kernel per send-side batch syscall.
+    pub const TRANSPORT_BATCH_TX_FILL: MetricId = MetricId("transport.batch_tx_fill");
+    /// Datagrams returned per non-empty receive-side batch syscall.
+    pub const TRANSPORT_BATCH_RX_FILL: MetricId = MetricId("transport.batch_rx_fill");
+    /// Sends deferred because the socket buffer was full mid-batch (the
+    /// flush loop yielded and retried).
+    pub const TRANSPORT_BATCH_TX_RETRIES: MetricId = MetricId("transport.batch_tx_retries");
 }
 
 #[cfg(test)]

@@ -19,17 +19,24 @@
 //! broadcaster, and feedback-sending viewers — into a driveable loopback
 //! overlay, with every layer recording into one [`SharedTelemetry`] hub.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one sanctioned exception is the
+// direct `sendmmsg`/`recvmmsg` bindings in `batch::mmsg`, which carry a
+// module-scoped allow and their own safety argument.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod brain;
 pub mod clock;
 pub mod node;
 pub mod telemetry;
 pub mod testbed;
 
+pub use batch::{BatchBackend, BatchSocket, RecvBatch, SendDatagram, MAX_BATCH};
 pub use brain::BrainHandle;
 pub use clock::WallClock;
-pub use node::{NodeCommand, NodeGone, NodeHandle, UdpOverlayNode};
+pub use node::{NodeCommand, NodeGone, NodeHandle, UdpOverlayNode, WireNodeConfig};
 pub use telemetry::SharedTelemetry;
-pub use testbed::{TestbedConfig, ViewerReport, WireRunReport, WireViewer};
+pub use testbed::{
+    TestbedBuilder, TestbedConfig, ViewerReport, WireRunReport, WireViewer,
+};

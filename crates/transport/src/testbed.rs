@@ -9,13 +9,24 @@
 //! records into one [`SharedTelemetry`] hub, so a run ends with a single
 //! snapshot spanning the wire datapath and the node cores.
 //!
+//! Configurations are constructed through [`TestbedBuilder`] — the same
+//! validated-builder discipline as `livenet-sim`'s `FleetConfigBuilder`.
+//! Two presets ship: [`TestbedBuilder::diamond`] (the historical 4-node
+//! acceptance topology) and [`TestbedBuilder::geo_fleet`], which grows the
+//! overlay to a 50+ node geography: region-clustered edge nodes around a
+//! full-mesh core of per-country hubs, edges and RTTs taken from a
+//! `livenet-topology` [`GeoTopology`] rather than hand-wired, and viewer
+//! arrival times drawn from `livenet-sim`'s Taobao-shaped workload and
+//! compressed into the broadcast window.
+//!
 //! This is the integration-test and `exp_wire` substrate; it measures the
 //! same quantities as the emulator's client model (startup delay, E2E
 //! delay via the RTP delay field, delivery completeness) on real sockets.
 
+use crate::batch::BatchBackend;
 use crate::brain::BrainHandle;
 use crate::clock::WallClock;
-use crate::node::{NodeCommand, NodeHandle, UdpOverlayNode};
+use crate::node::{NodeCommand, NodeHandle, UdpOverlayNode, WireNodeConfig};
 use crate::telemetry::SharedTelemetry;
 use bytes::Bytes;
 use livenet_brain::{BrainConfig, StreamingBrain};
@@ -23,12 +34,25 @@ use livenet_cc::{PacedPacket, Pacer, PacerConfig, RateDecisionStats, SendPriorit
 use livenet_media::{EncodedFrame, FrameKind, GopConfig, VideoEncoder};
 use livenet_node::{NodeConfig, NodeStats, OverlayMsg};
 use livenet_packet::{Depacketizer, ReceiverReport, RtcpPacket, RtpPacket};
+use livenet_sim::workload::{Workload, WorkloadConfig};
 use livenet_telemetry::{ids, MetricSink, Snapshot};
-use livenet_topology::{LinkMetrics, NodeInfo, Topology};
-use livenet_types::{Bandwidth, ClientId, NodeId, SimDuration, StreamId};
+use livenet_topology::{GeoConfig, GeoTopology, LinkMetrics, NodeInfo, Topology};
+use livenet_types::{Bandwidth, ClientId, Error, NodeId, SimDuration, SimTime, StreamId};
 use std::net::SocketAddr;
 use std::time::Duration;
 use tokio::net::UdpSocket;
+
+/// Most overlay nodes one loopback harness will spawn. Each node binds
+/// 1..=16 sockets and runs its own event loop on the single-threaded
+/// executor; past a few hundred the harness stops resembling a testbed.
+pub const MAX_TESTBED_NODES: usize = 256;
+
+/// Most concurrent viewers one harness run will drive.
+pub const MAX_TESTBED_VIEWERS: usize = 1024;
+
+/// Wired-degree threshold above which a node is considered a busy core
+/// (hub/reflector) and gets `hub_shards` receive sockets instead of one.
+const SHARD_DEGREE: usize = 6;
 
 /// One real-socket viewer in the harness.
 #[derive(Debug, Clone)]
@@ -41,20 +65,44 @@ pub struct WireViewer {
     /// claim this loss fraction — a synthetic congestion signal used to
     /// demonstrate client feedback driving the sender-side cc loop.
     pub lossy_rr: Option<(Duration, f64)>,
+    /// Wall-clock delay from broadcast start to this viewer's attach.
+    /// Zero means "attached before the first frame" (the harness settles
+    /// the subscription during the settle window).
+    pub join_after: Duration,
 }
 
 impl WireViewer {
-    /// A well-behaved viewer at `node`.
+    /// A well-behaved viewer at `node` (index range is validated by
+    /// [`TestbedBuilder::build`], surfacing `Error::InvalidConfig` instead
+    /// of the panic this constructor historically caused downstream).
     pub fn at(node: usize) -> Self {
         WireViewer {
             node,
             downlink: Some(Bandwidth::from_mbps(50)),
             lossy_rr: None,
+            join_after: Duration::ZERO,
         }
+    }
+
+    /// Stagger this viewer's attach into the broadcast window.
+    pub fn join_after(mut self, after: Duration) -> Self {
+        self.join_after = after;
+        self
+    }
+
+    /// Mark this viewer synthetically lossy from `after` onward.
+    pub fn lossy_after(mut self, after: Duration, loss: f64) -> Self {
+        self.lossy_rr = Some((after, loss));
+        self
     }
 }
 
-/// Harness configuration: topology, media source, viewers, run length.
+/// Harness configuration: topology, media source, viewers, run length,
+/// and the wire-datapath knobs (datagram cap, batch size, shard count)
+/// folded into one validated surface.
+///
+/// Construct through [`TestbedBuilder`]; fields stay public so tests can
+/// tweak a built preset, but [`run`] re-validates before spawning.
 #[derive(Debug, Clone)]
 pub struct TestbedConfig {
     /// The broadcast stream.
@@ -63,6 +111,9 @@ pub struct TestbedConfig {
     pub nodes: usize,
     /// Duplex overlay edges as `(a, b, rtt)` node-index pairs.
     pub edges: Vec<(usize, usize, SimDuration)>,
+    /// Country of each node (indexed like the node list); used for
+    /// per-region reporting. Empty means "all country 0".
+    pub countries: Vec<u32>,
     /// Index of the producer (broadcaster ingest) node.
     pub producer: usize,
     /// The viewers.
@@ -80,31 +131,449 @@ pub struct TestbedConfig {
     pub rr_interval: Duration,
     /// Extra wall-clock time viewers keep draining after the broadcast.
     pub drain: Duration,
+    /// Settle time between wiring/attach and the first frame, letting
+    /// reverse-path subscriptions establish.
+    pub settle: Duration,
+    /// Per-datagram payload cap on every node (`NodeConfig`'s knob,
+    /// surfaced here so the whole overlay agrees).
+    pub max_datagram_bytes: usize,
+    /// Max datagrams per batch syscall on every node.
+    pub batch: usize,
+    /// Receive-socket shards for busy cores (wired degree >
+    /// `SHARD_DEGREE`, or the producer). Leaf nodes always bind one.
+    pub hub_shards: usize,
+    /// Batched-I/O backend for every node socket.
+    pub backend: BatchBackend,
 }
 
 impl TestbedConfig {
+    /// Start building a minimal single-node config around `stream`.
+    pub fn builder(stream: StreamId) -> TestbedBuilder {
+        TestbedBuilder::new(stream)
+    }
+
     /// The acceptance topology: a 4-node diamond 0→{1,2}→3 with the
     /// producer at 0 and two viewers at 3.
+    #[deprecated(note = "use TestbedBuilder::diamond(stream).build() instead")]
     pub fn diamond(stream: StreamId) -> Self {
-        let ms = SimDuration::from_millis;
-        TestbedConfig {
-            stream,
-            nodes: 4,
-            edges: vec![
-                (0, 1, ms(8)),
-                (0, 2, ms(12)),
-                (1, 3, ms(8)),
-                (2, 3, ms(12)),
-            ],
-            producer: 0,
-            viewers: vec![WireViewer::at(3), WireViewer::at(3)],
-            bitrate: Bandwidth::from_mbps(1),
-            gop: GopConfig::default(),
-            broadcast: Duration::from_secs(3),
-            uplink: Bandwidth::from_mbps(8),
-            rr_interval: Duration::from_millis(400),
-            drain: Duration::from_millis(900),
+        TestbedBuilder::diamond(stream)
+            .build()
+            .expect("diamond preset is always valid")
+    }
+
+    /// Check the whole surface; every violation is `Error::InvalidConfig`.
+    pub fn validate(&self) -> livenet_types::Result<()> {
+        if self.nodes == 0 || self.nodes > MAX_TESTBED_NODES {
+            return Err(Error::invalid_config(format!(
+                "nodes must be in 1..={MAX_TESTBED_NODES}, got {}",
+                self.nodes
+            )));
         }
+        if self.producer >= self.nodes {
+            return Err(Error::invalid_config(format!(
+                "producer index {} out of range for {} nodes",
+                self.producer, self.nodes
+            )));
+        }
+        for &(a, b, _) in &self.edges {
+            if a >= self.nodes || b >= self.nodes {
+                return Err(Error::invalid_config(format!(
+                    "edge ({a}, {b}) out of range for {} nodes",
+                    self.nodes
+                )));
+            }
+            if a == b {
+                return Err(Error::invalid_config(format!("self-edge at node {a}")));
+            }
+        }
+        if !self.countries.is_empty() && self.countries.len() != self.nodes {
+            return Err(Error::invalid_config(format!(
+                "countries has {} entries for {} nodes",
+                self.countries.len(),
+                self.nodes
+            )));
+        }
+        if self.viewers.is_empty() || self.viewers.len() > MAX_TESTBED_VIEWERS {
+            return Err(Error::invalid_config(format!(
+                "viewers must be in 1..={MAX_TESTBED_VIEWERS}, got {}",
+                self.viewers.len()
+            )));
+        }
+        for (i, v) in self.viewers.iter().enumerate() {
+            if v.node >= self.nodes {
+                return Err(Error::invalid_config(format!(
+                    "viewer {i} at node {} out of range for {} nodes",
+                    v.node, self.nodes
+                )));
+            }
+            if v.join_after > self.broadcast {
+                return Err(Error::invalid_config(format!(
+                    "viewer {i} joins {}ms after a {}ms broadcast",
+                    v.join_after.as_millis(),
+                    self.broadcast.as_millis()
+                )));
+            }
+        }
+        if self.broadcast.is_zero() {
+            return Err(Error::invalid_config("broadcast length must be > 0"));
+        }
+        if self.rr_interval.is_zero() {
+            return Err(Error::invalid_config("rr_interval must be > 0"));
+        }
+        if self.uplink < self.bitrate {
+            return Err(Error::invalid_config(format!(
+                "uplink {} below source bitrate {} — the pacer would back up \
+                 unboundedly",
+                self.uplink, self.bitrate
+            )));
+        }
+        // The per-node driver knobs share WireNodeConfig's rules; validate
+        // at the busy-core shard count, the largest this config will bind.
+        self.wire_node_config(NodeId::new(1), self.hub_shards).validate()
+    }
+
+    /// The per-node driver config this testbed spawns (`shards` chosen
+    /// per node by wired degree).
+    fn wire_node_config(&self, id: NodeId, shards: usize) -> WireNodeConfig {
+        let mut node = NodeConfig::new(id);
+        node.max_datagram_bytes = self.max_datagram_bytes;
+        WireNodeConfig::new(node)
+            .with_batch(self.batch)
+            .with_recv_shards(shards)
+            .with_backend(self.backend)
+    }
+
+    /// Country of node index `i` (0 when `countries` is unset).
+    pub fn country_of(&self, i: usize) -> u32 {
+        self.countries.get(i).copied().unwrap_or(0)
+    }
+}
+
+/// Validated builder for [`TestbedConfig`] — the only non-deprecated way
+/// to construct one. Mirrors `FleetConfigBuilder`: presets, chained
+/// setters, and a [`TestbedBuilder::build`] that returns
+/// `Error::InvalidConfig` instead of letting a bad config panic deep in
+/// the harness.
+#[derive(Debug, Clone)]
+pub struct TestbedBuilder {
+    cfg: TestbedConfig,
+    /// Preset-construction failure, surfaced at `build()` (builders have
+    /// no other error channel).
+    err: Option<Error>,
+}
+
+impl TestbedBuilder {
+    /// A minimal valid starting point: one node, producer 0, one viewer
+    /// at the producer, diamond-era media defaults.
+    pub fn new(stream: StreamId) -> TestbedBuilder {
+        TestbedBuilder {
+            cfg: TestbedConfig {
+                stream,
+                nodes: 1,
+                edges: Vec::new(),
+                countries: Vec::new(),
+                producer: 0,
+                viewers: vec![WireViewer::at(0)],
+                bitrate: Bandwidth::from_mbps(1),
+                gop: GopConfig::default(),
+                broadcast: Duration::from_secs(3),
+                uplink: Bandwidth::from_mbps(8),
+                rr_interval: Duration::from_millis(400),
+                drain: Duration::from_millis(900),
+                settle: Duration::from_millis(150),
+                max_datagram_bytes: 1400,
+                batch: 32,
+                hub_shards: 1,
+                backend: BatchBackend::auto(),
+            },
+            err: None,
+        }
+    }
+
+    /// The historical 4-node acceptance diamond 0→{1,2}→3.
+    pub fn diamond(stream: StreamId) -> TestbedBuilder {
+        let ms = SimDuration::from_millis;
+        TestbedBuilder::new(stream)
+            .nodes(4)
+            .edge(0, 1, ms(8))
+            .edge(0, 2, ms(12))
+            .edge(1, 3, ms(8))
+            .edge(2, 3, ms(12))
+            .producer(0)
+            .viewers(vec![WireViewer::at(3), WireViewer::at(3)])
+    }
+
+    /// A 50+ node geography built from `livenet-topology` data.
+    ///
+    /// The wired overlay is the region-clustered shape of the paper's
+    /// deployment rather than the generator's full mesh: per-country hub
+    /// nodes (every country's first, well-peered node) form a full-mesh
+    /// backbone core, each remaining edge node wires to `fanout` hubs
+    /// (its own country's first, then nearby ones), and last-resort
+    /// relays wire to every hub. Edge RTTs are the generated
+    /// [`GeoTopology`] link metrics, so intra-country spokes are short
+    /// and the backbone carries the long-haul delay.
+    ///
+    /// `viewer_count` viewer arrivals are drawn from the `livenet-sim`
+    /// workload (`workload_seed` selects the replay): each session's
+    /// country picks an edge node in that country and its Poisson
+    /// arrival time is compressed into the first half of the broadcast
+    /// window, so attach load ramps the way the fleet sim's does.
+    pub fn geo_fleet(
+        stream: StreamId,
+        geo: &GeoConfig,
+        viewer_count: usize,
+        fanout: usize,
+        workload_seed: u64,
+    ) -> TestbedBuilder {
+        let mut b = TestbedBuilder::new(stream)
+            .bitrate(Bandwidth::from_kbps(400))
+            .uplink(Bandwidth::from_mbps(8))
+            .broadcast(Duration::from_secs(6))
+            .drain(Duration::from_millis(1500))
+            .settle(Duration::from_millis(400))
+            .rr_interval(Duration::from_millis(500))
+            .hub_shards(4);
+        if fanout == 0 || fanout > 8 {
+            b.err = Some(Error::invalid_config(format!(
+                "geo_fleet fanout must be in 1..=8, got {fanout}"
+            )));
+            return b;
+        }
+        if viewer_count == 0 || viewer_count > MAX_TESTBED_VIEWERS {
+            b.err = Some(Error::invalid_config(format!(
+                "geo_fleet viewer count must be in 1..={MAX_TESTBED_VIEWERS}, \
+                 got {viewer_count}"
+            )));
+            return b;
+        }
+        let g = GeoTopology::generate(geo);
+        let n = g.node_ids.len();
+        if n > MAX_TESTBED_NODES {
+            b.err = Some(Error::invalid_config(format!(
+                "geo config generates {n} nodes, cap is {MAX_TESTBED_NODES}"
+            )));
+            return b;
+        }
+        let info: Vec<&NodeInfo> = g
+            .node_ids
+            .iter()
+            .map(|&id| g.topology.node(id).expect("generated node"))
+            .collect();
+        let countries: Vec<u32> = info.iter().map(|i| i.country).collect();
+        // One hub per country: the first (always well-peered) node.
+        let mut hub_of_country: Vec<Option<usize>> = vec![None; geo.countries as usize];
+        for (i, inf) in info.iter().enumerate() {
+            if !inf.last_resort && hub_of_country[inf.country as usize].is_none() {
+                hub_of_country[inf.country as usize] = Some(i);
+            }
+        }
+        let hubs: Vec<usize> = hub_of_country.iter().filter_map(|&h| h).collect();
+        let rtt_of = |a: usize, bx: usize| -> SimDuration {
+            g.topology
+                .link(g.node_ids[a], g.node_ids[bx])
+                .expect("full-mesh generator links every pair")
+                .rtt
+        };
+        let mut edges: Vec<(usize, usize, SimDuration)> = Vec::new();
+        // Backbone: hub full mesh.
+        for (hi, &a) in hubs.iter().enumerate() {
+            for &bx in hubs.iter().skip(hi + 1) {
+                edges.push((a, bx, rtt_of(a, bx)));
+            }
+        }
+        // Spokes: every other node wires to `fanout` hubs, own country
+        // first, then the closest foreign hubs (by generated RTT).
+        for (i, inf) in info.iter().enumerate() {
+            if hubs.contains(&i) {
+                continue;
+            }
+            let mut targets: Vec<usize> = if inf.last_resort {
+                hubs.clone()
+            } else {
+                let home = hub_of_country[inf.country as usize]
+                    .expect("every country has a hub");
+                let mut rest: Vec<usize> =
+                    hubs.iter().copied().filter(|&h| h != home).collect();
+                rest.sort_by(|&x, &y| {
+                    rtt_of(i, x).cmp(&rtt_of(i, y))
+                });
+                let mut t = vec![home];
+                t.extend(rest.into_iter().take(fanout - 1));
+                t
+            };
+            targets.truncate(hubs.len());
+            for h in targets {
+                edges.push((i, h, rtt_of(i, h)));
+            }
+        }
+        // Viewer arrivals: the fleet workload's Poisson/diurnal stream,
+        // compressed into the first half of the broadcast so every viewer
+        // still has a streaming phase to measure.
+        let wl_cfg = WorkloadConfig {
+            seed: workload_seed,
+            ..WorkloadConfig::smoke(workload_seed)
+        };
+        let mut wl = Workload::new(wl_cfg, geo.countries);
+        let mut sessions = Vec::with_capacity(viewer_count);
+        while sessions.len() < viewer_count {
+            match wl.next_session() {
+                Some(s) => sessions.push(s),
+                None => break,
+            }
+        }
+        if sessions.len() < viewer_count {
+            b.err = Some(Error::invalid_config(format!(
+                "workload horizon produced only {} of {viewer_count} arrivals",
+                sessions.len()
+            )));
+            return b;
+        }
+        let span = sessions
+            .last()
+            .map(|s| s.at.as_secs_f64())
+            .filter(|&s| s > 0.0)
+            .unwrap_or(1.0);
+        let join_window = b.cfg.broadcast.as_secs_f64() * 0.5;
+        // Per-country round-robin over that country's non-hub edge nodes
+        // (hub fallback keeps single-node countries servable).
+        let mut edge_nodes: Vec<Vec<usize>> = vec![Vec::new(); geo.countries as usize];
+        for (i, inf) in info.iter().enumerate() {
+            if !inf.last_resort && !hubs.contains(&i) {
+                edge_nodes[inf.country as usize].push(i);
+            }
+        }
+        let mut rr_cursor = vec![0usize; geo.countries as usize];
+        let viewers: Vec<WireViewer> = sessions
+            .iter()
+            .map(|s| {
+                let c = (s.viewer_country as usize) % edge_nodes.len();
+                let pool = &edge_nodes[c];
+                let node = if pool.is_empty() {
+                    hub_of_country[c].expect("every country has a hub")
+                } else {
+                    let k = pool[rr_cursor[c] % pool.len()];
+                    rr_cursor[c] += 1;
+                    k
+                };
+                let after = s.at.as_secs_f64() / span * join_window;
+                WireViewer::at(node).join_after(Duration::from_secs_f64(after))
+            })
+            .collect();
+        let producer = hubs[0];
+        b.nodes(n)
+            .tweak(|c| {
+                c.edges = edges;
+                c.countries = countries;
+            })
+            .producer(producer)
+            .viewers(viewers)
+    }
+
+    /// Set the node count.
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        self.cfg.nodes = nodes;
+        self
+    }
+
+    /// Add one duplex edge.
+    pub fn edge(mut self, a: usize, b: usize, rtt: SimDuration) -> Self {
+        self.cfg.edges.push((a, b, rtt));
+        self
+    }
+
+    /// Set the producer node index.
+    pub fn producer(mut self, producer: usize) -> Self {
+        self.cfg.producer = producer;
+        self
+    }
+
+    /// Replace the viewer list.
+    pub fn viewers(mut self, viewers: Vec<WireViewer>) -> Self {
+        self.cfg.viewers = viewers;
+        self
+    }
+
+    /// Add one viewer.
+    pub fn viewer(mut self, viewer: WireViewer) -> Self {
+        self.cfg.viewers.push(viewer);
+        self
+    }
+
+    /// Set the source bitrate.
+    pub fn bitrate(mut self, bitrate: Bandwidth) -> Self {
+        self.cfg.bitrate = bitrate;
+        self
+    }
+
+    /// Set the broadcaster uplink pacing rate.
+    pub fn uplink(mut self, uplink: Bandwidth) -> Self {
+        self.cfg.uplink = uplink;
+        self
+    }
+
+    /// Set the broadcast length.
+    pub fn broadcast(mut self, broadcast: Duration) -> Self {
+        self.cfg.broadcast = broadcast;
+        self
+    }
+
+    /// Set the post-broadcast drain window.
+    pub fn drain(mut self, drain: Duration) -> Self {
+        self.cfg.drain = drain;
+        self
+    }
+
+    /// Set the pre-broadcast settle window.
+    pub fn settle(mut self, settle: Duration) -> Self {
+        self.cfg.settle = settle;
+        self
+    }
+
+    /// Set the viewer receiver-report cadence.
+    pub fn rr_interval(mut self, rr: Duration) -> Self {
+        self.cfg.rr_interval = rr;
+        self
+    }
+
+    /// Set the per-datagram payload cap for every node.
+    pub fn max_datagram_bytes(mut self, cap: usize) -> Self {
+        self.cfg.max_datagram_bytes = cap;
+        self
+    }
+
+    /// Set the batch-syscall size for every node.
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.cfg.batch = batch;
+        self
+    }
+
+    /// Set the receive-shard count for busy core nodes.
+    pub fn hub_shards(mut self, shards: usize) -> Self {
+        self.cfg.hub_shards = shards;
+        self
+    }
+
+    /// Force an I/O backend for every node socket.
+    pub fn backend(mut self, backend: BatchBackend) -> Self {
+        self.cfg.backend = backend;
+        self
+    }
+
+    /// Arbitrary adjustment — the escape hatch for fields without a
+    /// dedicated setter (still validated by `build`).
+    pub fn tweak(mut self, f: impl FnOnce(&mut TestbedConfig)) -> Self {
+        f(&mut self.cfg);
+        self
+    }
+
+    /// Validate and return the config.
+    pub fn build(self) -> livenet_types::Result<TestbedConfig> {
+        if let Some(e) = self.err {
+            return Err(e);
+        }
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -115,10 +584,16 @@ pub struct ViewerReport {
     pub client: ClientId,
     /// The consumer node the viewer attached to.
     pub node: NodeId,
+    /// When (harness clock) the viewer attached.
+    pub attach_at: SimTime,
     /// RTP packets received (including retransmissions).
     pub packets: u64,
     /// Frames fully reassembled.
     pub frames_completed: u64,
+    /// Frames the broadcaster ingested during this viewer's streaming
+    /// phase (attach + measured startup → end of broadcast); filled by
+    /// [`run`]. The denominator of [`ViewerReport::delivery`].
+    pub expected_frames: u64,
     /// Attach → first RTP packet, ms.
     pub first_packet_ms: Option<f64>,
     /// Attach → first complete frame, ms (the startup delay).
@@ -131,6 +606,19 @@ pub struct ViewerReport {
     pub rr_sent: u64,
     /// Keepalives sent.
     pub keepalives_sent: u64,
+}
+
+impl ViewerReport {
+    /// Streaming-phase delivery: completed frames over the frames
+    /// broadcast while this viewer was attached and past startup, capped
+    /// at 1.0. A viewer the broadcaster owed nothing (startup completed
+    /// after the last ingest) scores 1.0.
+    pub fn delivery(&self) -> f64 {
+        if self.expected_frames == 0 {
+            return 1.0;
+        }
+        (self.frames_completed as f64 / self.expected_frames as f64).min(1.0)
+    }
 }
 
 /// The outcome of one loopback run.
@@ -146,45 +634,101 @@ pub struct WireRunReport {
     pub node_stats: Vec<(NodeId, NodeStats)>,
     /// Sender-side cc decision totals summed over every node core.
     pub cc: RateDecisionStats,
+    /// Per-node cc decision totals (indexed like `node_stats`).
+    pub node_cc: Vec<(NodeId, RateDecisionStats)>,
+    /// Country of each node, indexed by node list position.
+    pub countries: Vec<u32>,
     /// Snapshot of the shared hub (transport counters, spans, core stats).
     pub telemetry: Snapshot,
 }
 
 impl WireRunReport {
-    /// Fraction of broadcast frames the worst-off viewer completed.
+    /// Streaming-phase delivery of the worst-off viewer.
     pub fn worst_delivery(&self) -> f64 {
-        if self.frames_broadcast == 0 {
-            return 0.0;
-        }
         self.viewers
             .iter()
-            .map(|v| v.frames_completed as f64 / self.frames_broadcast as f64)
+            .map(ViewerReport::delivery)
             .fold(f64::INFINITY, f64::min)
             .min(1.0)
     }
+
+    /// Sum of cc rate decreases over the nodes of one country.
+    pub fn cc_decreases_in_country(&self, country: u32) -> u64 {
+        self.node_cc
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| self.countries.get(i).copied().unwrap_or(0) == country)
+            .map(|(_, (_, s))| s.decreases)
+            .sum()
+    }
+
+    /// Startup delays (ms) of every viewer that completed a frame, sorted.
+    pub fn startup_ms_sorted(&self) -> Vec<f64> {
+        let mut v: Vec<f64> = self.viewers.iter().filter_map(|r| r.startup_ms).collect();
+        v.sort_by(f64::total_cmp);
+        v
+    }
+
+    /// Per-viewer mean E2E delays (ms), sorted.
+    pub fn e2e_ms_sorted(&self) -> Vec<f64> {
+        let mut v: Vec<f64> = self.viewers.iter().filter_map(|r| r.mean_e2e_ms).collect();
+        v.sort_by(f64::total_cmp);
+        v
+    }
+}
+
+/// Quantile of an already-sorted sample (nearest-rank); `None` when empty.
+pub fn percentile(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+    Some(sorted[idx])
 }
 
 fn local() -> SocketAddr {
     "127.0.0.1:0".parse().expect("loopback addr")
 }
 
+/// Everything one viewer task needs to join, watch, and report.
+struct ViewerPlan {
+    client: ClientId,
+    node_idx: usize,
+    node: NodeHandle,
+    producer_idx: usize,
+    stream: StreamId,
+    downlink: Option<Bandwidth>,
+    lossy_rr: Option<(Duration, f64)>,
+    rr_interval: Duration,
+    /// Wall-clock delay before attaching (zero = attach immediately; the
+    /// harness then settles before media flows).
+    attach_delay: Duration,
+    deadline: tokio::time::Instant,
+    brain: BrainHandle,
+    consumer_id: NodeId,
+    clock: WallClock,
+}
+
 /// Run one full loopback overlay session and report what happened.
 ///
-/// Panics on harness-level failures (bind errors, a node dying mid-run):
-/// the callers are tests and bench bins, where aborting loudly is right.
-pub async fn run(cfg: TestbedConfig) -> WireRunReport {
-    assert!(cfg.producer < cfg.nodes, "producer index in range");
+/// Config problems (including out-of-range viewer node indices, which
+/// formerly panicked) surface as `Error::InvalidConfig`. Harness-level
+/// failures (bind errors, a node dying mid-run) still panic: the callers
+/// are tests and bench bins, where aborting loudly is right.
+pub async fn run(cfg: TestbedConfig) -> livenet_types::Result<WireRunReport> {
+    cfg.validate()?;
     let clock = WallClock::new();
     let telemetry = SharedTelemetry::new();
     let ids_v: Vec<NodeId> = (0..cfg.nodes).map(|i| NodeId::new(i as u64 + 1)).collect();
 
-    // Brain: the same Topology/StreamingBrain the emulator uses, fed the
-    // harness edge list.
+    // Brain: the same Topology/StreamingBrain the emulator uses, fed
+    // exactly the wired edges (not the generator's full mesh), so every
+    // path it hands out is routable on the harness overlay.
     let mut topo = Topology::new();
-    for &id in &ids_v {
+    for (i, &id) in ids_v.iter().enumerate() {
         topo.upsert_node(NodeInfo {
             id,
-            country: 0,
+            country: cfg.country_of(i),
             capacity: Bandwidth::from_gbps(10),
             utilization: 0.1,
             last_resort: false,
@@ -198,12 +742,23 @@ pub async fn run(cfg: TestbedConfig) -> WireRunReport {
     let brain = BrainHandle::new(StreamingBrain::new(topo, BrainConfig::default()));
     brain.register_stream(cfg.stream, ids_v[cfg.producer]);
 
-    // Overlay nodes, all recording into one hub.
+    // Overlay nodes, all recording into one hub. Busy cores (hubs,
+    // reflectors, the producer) shard their receive sockets.
+    let mut degree = vec![0usize; cfg.nodes];
+    for &(a, b, _) in &cfg.edges {
+        degree[a] += 1;
+        degree[b] += 1;
+    }
     let mut handles: Vec<NodeHandle> = Vec::new();
     let mut joins = Vec::new();
-    for &id in &ids_v {
-        let (h, _events, join) = UdpOverlayNode::spawn_with_telemetry(
-            NodeConfig::new(id),
+    for (i, &id) in ids_v.iter().enumerate() {
+        let shards = if degree[i] > SHARD_DEGREE || i == cfg.producer {
+            cfg.hub_shards
+        } else {
+            1
+        };
+        let (h, _events, join) = UdpOverlayNode::spawn_wire(
+            cfg.wire_node_config(id, shards),
             local(),
             clock,
             telemetry.clone(),
@@ -215,10 +770,12 @@ pub async fn run(cfg: TestbedConfig) -> WireRunReport {
     }
     for &(a, b, rtt) in &cfg.edges {
         for (x, y) in [(a, b), (b, a)] {
+            // Pair-wise shard pinning: x sends to (and hears from) the
+            // shard of y that y assigned to x's id.
             handles[x]
                 .send(NodeCommand::AddPeer {
                     node: handles[y].id,
-                    addr: handles[y].addr,
+                    addr: handles[y].addr_for_peer(handles[x].id),
                     rtt,
                 })
                 .await
@@ -233,57 +790,48 @@ pub async fn run(cfg: TestbedConfig) -> WireRunReport {
         .await
         .expect("producer alive");
 
-    // Viewers: attach (with a brain-computed path when remote) and spawn
-    // the socket-reading task.
+    // Viewers: each runs its whole session (delayed attach included) as
+    // one task, so arrivals stagger like the workload says while the
+    // broadcaster keeps pacing.
+    let run_deadline = tokio::time::Instant::now()
+        + cfg.settle
+        + cfg.broadcast
+        + cfg.drain;
     let mut viewer_joins = Vec::new();
     let mut viewer_meta: Vec<(ClientId, usize)> = Vec::new();
     for (vi, spec) in cfg.viewers.iter().enumerate() {
-        assert!(spec.node < cfg.nodes, "viewer node index in range");
         let client = ClientId::new(vi as u64 + 1);
-        let sock = UdpSocket::bind(local()).await.expect("bind viewer socket");
-        let addr = sock.local_addr().expect("viewer addr");
-        let path = if spec.node == cfg.producer {
-            None
-        } else {
-            let assign = brain
-                .path_request(cfg.stream, ids_v[spec.node], clock.now())
-                .expect("brain finds a path in the configured topology");
-            Some(assign.paths[0].nodes.clone())
-        };
-        handles[spec.node]
-            .send(NodeCommand::ClientAttach {
-                client,
-                stream: cfg.stream,
-                downlink: spec.downlink,
-                path,
-                addr,
-            })
-            .await
-            .expect("consumer alive");
-        let node_addr = handles[spec.node].addr;
-        let node_id = handles[spec.node].id;
-        let deadline = tokio::time::Instant::now() + cfg.broadcast + cfg.drain;
-        let task = viewer_task(
-            sock,
-            node_addr,
-            node_id,
+        let plan = ViewerPlan {
             client,
-            cfg.stream,
+            node_idx: spec.node,
+            node: handles[spec.node].clone(),
+            producer_idx: cfg.producer,
+            stream: cfg.stream,
+            downlink: spec.downlink,
+            lossy_rr: spec.lossy_rr,
+            rr_interval: cfg.rr_interval,
+            attach_delay: if spec.join_after.is_zero() {
+                Duration::ZERO
+            } else {
+                cfg.settle + spec.join_after
+            },
+            deadline: run_deadline,
+            brain: brain.clone(),
+            consumer_id: ids_v[spec.node],
             clock,
-            deadline,
-            cfg.rr_interval,
-            spec.lossy_rr,
-        );
-        viewer_joins.push(tokio::spawn(task));
+        };
+        viewer_joins.push(tokio::spawn(viewer_session(plan)));
         viewer_meta.push((client, spec.node));
     }
 
-    // Let the reverse-path subscriptions establish before media flows.
-    tokio::time::sleep(Duration::from_millis(150)).await;
+    // Let the zero-join reverse-path subscriptions establish before media
+    // flows.
+    tokio::time::sleep(cfg.settle).await;
 
     // Broadcaster: encode at wall-clock pace, smooth the uplink through
     // the cc pacer, ingest whatever the pacer releases.
-    let frames_broadcast = broadcast(&cfg, clock, &handles[cfg.producer]).await;
+    let (frames_broadcast, ingest_times) =
+        broadcast(&cfg, clock, &handles[cfg.producer]).await;
 
     // Harvest viewers (they stop at their deadline), then the nodes.
     let mut viewers = Vec::new();
@@ -296,6 +844,18 @@ pub async fn run(cfg: TestbedConfig) -> WireRunReport {
     let mut cores = Vec::new();
     for join in joins {
         cores.push(join.await.expect("node join"));
+    }
+
+    // Per-viewer expected frames: what the broadcaster ingested during
+    // the viewer's streaming phase (attach + measured startup onward).
+    // Startup is reported separately; delivery measures steady state,
+    // mirroring the emulator's startup/streaming stage split.
+    for v in &mut viewers {
+        let from = match v.startup_ms {
+            Some(ms) => v.attach_at + SimDuration::from_millis_f64(ms),
+            None => v.attach_at,
+        };
+        v.expected_frames = ingest_times.iter().filter(|&&t| t >= from).count() as u64;
     }
 
     // Stage telemetry on the shared hub: the same ids the emulator's
@@ -325,32 +885,42 @@ pub async fn run(cfg: TestbedConfig) -> WireRunReport {
         })
         .collect();
     let mut cc = RateDecisionStats::default();
+    let mut node_cc = Vec::with_capacity(cores.len());
     for core in &cores {
         let t = core.cc_decision_totals();
         cc.increases += t.increases;
         cc.holds += t.holds;
         cc.decreases += t.decreases;
+        node_cc.push((core.id(), t));
     }
     let node_stats = cores.iter().map(|c| (c.id(), c.stats)).collect();
+    let countries = (0..cfg.nodes).map(|i| cfg.country_of(i)).collect();
 
-    WireRunReport {
+    Ok(WireRunReport {
         frames_broadcast,
         viewers,
         client_rates,
         node_stats,
         cc,
+        node_cc,
+        countries,
         telemetry: telemetry.snapshot(),
-    }
+    })
 }
 
 /// Drive the encoder through the pacer at wall-clock pace; returns the
-/// number of frames ingested at the producer.
-async fn broadcast(cfg: &TestbedConfig, clock: WallClock, producer: &NodeHandle) -> u64 {
+/// number of frames ingested at the producer and each frame's ingest time
+/// (the denominator data for per-viewer expected-frame accounting).
+async fn broadcast(
+    cfg: &TestbedConfig,
+    clock: WallClock,
+    producer: &NodeHandle,
+) -> (u64, Vec<SimTime>) {
     let mut encoder = VideoEncoder::new(cfg.stream, cfg.gop, cfg.bitrate, clock.now());
     let mut pacer: Pacer<(EncodedFrame, Bytes)> = Pacer::new(PacerConfig::default(), cfg.uplink);
     let interval = Duration::from_nanos(cfg.gop.frame_interval().as_nanos());
     let total = (cfg.broadcast.as_nanos() / interval.as_nanos()).max(1) as u64;
-    let mut ingested = 0u64;
+    let mut ingest_times = Vec::with_capacity(total as usize);
     for _ in 0..total {
         let frame = encoder.next_frame();
         let payload = Bytes::from(vec![0u8; frame.size_bytes as usize]);
@@ -360,59 +930,77 @@ async fn broadcast(cfg: &TestbedConfig, clock: WallClock, producer: &NodeHandle)
             is_iframe: frame.kind == FrameKind::I,
             payload: (frame, payload),
         });
-        ingested += drain_pacer(&mut pacer, clock, producer).await;
+        drain_pacer(&mut pacer, clock, producer, &mut ingest_times).await;
         tokio::time::sleep(interval).await;
     }
     // Flush the tail the token bucket is still holding.
     let flush_deadline = tokio::time::Instant::now() + Duration::from_millis(500);
     while pacer.is_backlogged() && tokio::time::Instant::now() < flush_deadline {
-        ingested += drain_pacer(&mut pacer, clock, producer).await;
+        drain_pacer(&mut pacer, clock, producer, &mut ingest_times).await;
         tokio::time::sleep(Duration::from_millis(5)).await;
     }
-    ingested
+    (ingest_times.len() as u64, ingest_times)
 }
 
 async fn drain_pacer(
     pacer: &mut Pacer<(EncodedFrame, Bytes)>,
     clock: WallClock,
     producer: &NodeHandle,
-) -> u64 {
+    ingest_times: &mut Vec<SimTime>,
+) {
     let released = pacer.poll(clock.now());
-    let mut n = 0u64;
     for paced in released {
         let (frame, payload) = paced.payload;
         producer
             .send(NodeCommand::Ingest { frame, payload })
             .await
             .expect("producer alive during broadcast");
-        n += 1;
+        ingest_times.push(clock.now());
     }
-    n
 }
 
-/// One viewer: read RTP off the socket, reassemble frames, feed RTCP
-/// receiver reports and keepalives back to the consumer node.
-#[allow(clippy::too_many_arguments)]
-async fn viewer_task(
-    sock: UdpSocket,
-    node_addr: SocketAddr,
-    node_id: NodeId,
-    client: ClientId,
-    stream: StreamId,
-    clock: WallClock,
-    deadline: tokio::time::Instant,
-    rr_interval: Duration,
-    lossy_rr: Option<(Duration, f64)>,
-) -> ViewerReport {
-    let attach_at = clock.now();
+/// One viewer's whole session: wait out the staggered join, bind, fetch a
+/// brain path, attach, then read RTP off the socket, reassemble frames,
+/// and feed RTCP receiver reports and keepalives back to the consumer.
+async fn viewer_session(plan: ViewerPlan) -> ViewerReport {
+    if !plan.attach_delay.is_zero() {
+        tokio::time::sleep(plan.attach_delay).await;
+    }
+    let sock = UdpSocket::bind(local()).await.expect("bind viewer socket");
+    let addr = sock.local_addr().expect("viewer addr");
+    let path = if plan.node_idx == plan.producer_idx {
+        None
+    } else {
+        let assign = plan
+            .brain
+            .path_request(plan.stream, plan.consumer_id, plan.clock.now())
+            .expect("brain finds a path in the configured topology");
+        Some(assign.paths[0].nodes.clone())
+    };
+    let attach_at = plan.clock.now();
+    plan.node
+        .send(NodeCommand::ClientAttach {
+            client: plan.client,
+            stream: plan.stream,
+            downlink: plan.downlink,
+            path,
+            addr,
+        })
+        .await
+        .expect("consumer alive");
+    // The consumer talks to this client on its pinned shard.
+    let node_addr = plan.node.addr_for_client(plan.client);
+
     let started = tokio::time::Instant::now();
     let mut depack = Depacketizer::new();
     let mut buf = vec![0u8; 64 * 1024];
     let mut report = ViewerReport {
-        client,
-        node: node_id,
+        client: plan.client,
+        node: plan.node.id,
+        attach_at,
         packets: 0,
         frames_completed: 0,
+        expected_frames: 0,
         first_packet_ms: None,
         startup_ms: None,
         mean_e2e_ms: None,
@@ -430,10 +1018,10 @@ async fn viewer_task(
 
     loop {
         let now_i = tokio::time::Instant::now();
-        if now_i >= deadline {
+        if now_i >= plan.deadline {
             break;
         }
-        let slice = Duration::from_millis(50).min(deadline - now_i);
+        let slice = Duration::from_millis(50).min(plan.deadline - now_i);
         if let Ok(Ok((len, _src))) = tokio::time::timeout(slice, sock.recv_from(&mut buf)).await {
             let Ok(msg) = OverlayMsg::decode(Bytes::copy_from_slice(&buf[..len])) else {
                 continue;
@@ -445,7 +1033,7 @@ async fn viewer_task(
                 report.packets += 1;
                 if report.first_packet_ms.is_none() {
                     report.first_packet_ms =
-                        Some(clock.now().saturating_since(attach_at).as_millis_f64());
+                        Some(plan.clock.now().saturating_since(attach_at).as_millis_f64());
                 }
                 window_received += 1;
                 window_first_seq.get_or_insert(rtp.header.seq.0);
@@ -455,7 +1043,7 @@ async fn viewer_task(
                     report.frames_completed += 1;
                     if report.startup_ms.is_none() {
                         report.startup_ms =
-                            Some(clock.now().saturating_since(attach_at).as_millis_f64());
+                            Some(plan.clock.now().saturating_since(attach_at).as_millis_f64());
                     }
                     if let Some(d) = frame.delay_field {
                         e2e_ms.push(d.as_millis_f64());
@@ -467,7 +1055,7 @@ async fn viewer_task(
 
         // Feedback: honest (or synthetically lossy) RRs at the configured
         // cadence, keepalives in between.
-        if last_rr.elapsed() >= rr_interval {
+        if last_rr.elapsed() >= plan.rr_interval {
             if let Some(rtp) = &last_rtp {
                 let measured = match window_first_seq {
                     Some(first) => {
@@ -477,7 +1065,7 @@ async fn viewer_task(
                     }
                     None => 0.0,
                 };
-                let loss_fraction = match lossy_rr {
+                let loss_fraction = match plan.lossy_rr {
                     Some((after, loss)) if started.elapsed() >= after => loss,
                     _ => measured,
                 };
@@ -488,7 +1076,7 @@ async fn viewer_task(
                     jitter_us: 0,
                 });
                 let msg = OverlayMsg::Rtcp {
-                    stream,
+                    stream: plan.stream,
                     packet: rr.encode(),
                 };
                 let _ = sock.send_to(&msg.encode(), node_addr).await;
@@ -497,7 +1085,7 @@ async fn viewer_task(
                 window_received = 0;
                 window_first_seq = None;
             }
-        } else if last_keepalive.elapsed() >= rr_interval / 2 {
+        } else if last_keepalive.elapsed() >= plan.rr_interval / 2 {
             let _ = sock.send_to(&OverlayMsg::Keepalive.encode(), node_addr).await;
             report.keepalives_sent += 1;
             last_keepalive = tokio::time::Instant::now();

@@ -1,6 +1,7 @@
 //! Loopback integration for the fixed datapath: client feedback reaching
 //! the core, oversized-datagram handling, detach cancelling timers, the
-//! re-homed-peer address book, and `NodeGone` on a dead handle.
+//! re-homed-peer address book, `NodeGone` on a dead handle, the validated
+//! `TestbedBuilder` surface, and the 50+ node geo-fleet smoke run.
 //!
 //! Everything binds 127.0.0.1:0 only.
 
@@ -9,10 +10,12 @@ use livenet_media::{GopConfig, VideoEncoder};
 use livenet_node::{NodeConfig, OverlayMsg};
 use livenet_packet::{ReceiverReport, RtcpPacket};
 use livenet_telemetry::ids;
+use livenet_topology::GeoConfig;
 use livenet_transport::{
-    testbed, NodeCommand, NodeGone, SharedTelemetry, TestbedConfig, UdpOverlayNode, WallClock,
+    testbed, NodeCommand, NodeGone, SharedTelemetry, TestbedBuilder, TestbedConfig,
+    UdpOverlayNode, WallClock, WireViewer,
 };
-use livenet_types::{Bandwidth, ClientId, NodeId, SeqNo, SimDuration, Ssrc, StreamId};
+use livenet_types::{Bandwidth, ClientId, Error, NodeId, SeqNo, SimDuration, Ssrc, StreamId};
 use std::net::SocketAddr;
 use std::time::Duration;
 use tokio::net::UdpSocket;
@@ -34,14 +37,16 @@ fn counter(telemetry: &SharedTelemetry, id: livenet_telemetry::MetricId) -> u64 
 /// ≥ 99% of broadcast frames.
 #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
 async fn client_feedback_round_trip_drives_cc_over_udp() {
-    let mut cfg = TestbedConfig::diamond(STREAM);
-    cfg.broadcast = Duration::from_millis(1600);
-    cfg.drain = Duration::from_millis(700);
-    cfg.rr_interval = Duration::from_millis(250);
-    // Viewer 1 turns synthetically lossy after 800 ms.
-    cfg.viewers[1].lossy_rr = Some((Duration::from_millis(800), 0.3));
+    let cfg = TestbedBuilder::diamond(STREAM)
+        .broadcast(Duration::from_millis(1600))
+        .drain(Duration::from_millis(700))
+        .rr_interval(Duration::from_millis(250))
+        // Viewer 1 turns synthetically lossy after 800 ms.
+        .tweak(|c| c.viewers[1].lossy_rr = Some((Duration::from_millis(800), 0.3)))
+        .build()
+        .expect("diamond preset is valid");
 
-    let report = testbed::run(cfg).await;
+    let report = testbed::run(cfg).await.expect("validated config runs");
 
     assert!(report.frames_broadcast >= 20, "broadcast too short: {}", report.frames_broadcast);
     for v in &report.viewers {
@@ -293,4 +298,162 @@ async fn detached_client_feedback_is_dropped() {
 
     h.send(NodeCommand::Shutdown).await.expect("node alive");
     join.await.expect("join");
+}
+
+/// The deprecated `TestbedConfig::diamond` shim (kept one release) still
+/// produces the exact builder-made diamond.
+#[test]
+fn deprecated_diamond_shim_matches_builder() {
+    #[allow(deprecated)]
+    let shim = TestbedConfig::diamond(STREAM);
+    let built = TestbedBuilder::diamond(STREAM).build().expect("valid");
+    assert_eq!(shim.nodes, built.nodes);
+    assert_eq!(shim.edges, built.edges);
+    assert_eq!(shim.producer, built.producer);
+    assert_eq!(shim.viewers.len(), built.viewers.len());
+    shim.validate().expect("shim output validates");
+}
+
+/// Every class of bad input surfaces as `Error::InvalidConfig` from
+/// `build()` — including the out-of-range viewer index that used to
+/// panic deep inside `run`.
+#[test]
+fn builder_rejects_invalid_configs() {
+    let cases: Vec<(&str, livenet_types::Result<TestbedConfig>)> = vec![
+        (
+            "viewer node out of range",
+            TestbedBuilder::diamond(STREAM).viewer(WireViewer::at(9)).build(),
+        ),
+        (
+            "edge endpoint out of range",
+            TestbedBuilder::new(STREAM)
+                .nodes(2)
+                .edge(0, 5, SimDuration::from_millis(5))
+                .build(),
+        ),
+        (
+            "producer out of range",
+            TestbedBuilder::new(STREAM).producer(3).build(),
+        ),
+        (
+            "no viewers",
+            TestbedBuilder::diamond(STREAM).viewers(Vec::new()).build(),
+        ),
+        (
+            "uplink below bitrate",
+            TestbedBuilder::diamond(STREAM)
+                .bitrate(Bandwidth::from_mbps(10))
+                .uplink(Bandwidth::from_mbps(1))
+                .build(),
+        ),
+        (
+            "oversized batch",
+            TestbedBuilder::diamond(STREAM).batch(1000).build(),
+        ),
+        (
+            "zero shards",
+            TestbedBuilder::diamond(STREAM).hub_shards(0).build(),
+        ),
+        (
+            "geo fan-out of zero",
+            TestbedBuilder::geo_fleet(STREAM, &GeoConfig::tiny(1), 4, 0, 1).build(),
+        ),
+        (
+            "geo viewer count of zero",
+            TestbedBuilder::geo_fleet(STREAM, &GeoConfig::tiny(1), 0, 2, 1).build(),
+        ),
+    ];
+    for (what, result) in cases {
+        match result {
+            Err(Error::InvalidConfig(_)) => {}
+            other => panic!("{what}: expected InvalidConfig, got {other:?}"),
+        }
+    }
+}
+
+/// `run` re-validates, so a hand-corrupted config errors instead of
+/// panicking mid-harness.
+#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+async fn run_rejects_corrupted_config() {
+    let mut cfg = TestbedBuilder::diamond(STREAM).build().expect("valid");
+    cfg.viewers[0].node = 99;
+    match testbed::run(cfg).await {
+        Err(Error::InvalidConfig(_)) => {}
+        other => panic!("expected InvalidConfig, got {other:?}"),
+    }
+}
+
+/// The tentpole smoke: a 50+ node geo fleet (region hubs in a full-mesh
+/// core, workload-staggered viewers on country edge nodes) over real
+/// loopback sockets, time-capped. Delivery must stay ≥ 99 % for every
+/// viewer and each congested region must record at least one cc rate
+/// decrease at its edge nodes.
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn geo_fleet_smoke_fifty_nodes() {
+    let geo = GeoConfig::paper_scale(7);
+    let mut cfg = TestbedBuilder::geo_fleet(STREAM, &geo, 24, 2, 11)
+        .broadcast(Duration::from_secs(3))
+        .drain(Duration::from_millis(1200))
+        .build()
+        .expect("geo fleet preset is valid");
+    assert!(cfg.nodes >= 50, "geo fleet too small: {} nodes", cfg.nodes);
+    assert!(
+        cfg.viewers.iter().any(|v| !v.join_after.is_zero()),
+        "workload produced no staggered arrivals"
+    );
+
+    // Congest the two busiest viewer regions: every viewer there turns
+    // synthetically lossy late in its session.
+    let countries = cfg.countries.clone();
+    let mut by_country = std::collections::BTreeMap::<u32, usize>::new();
+    for v in &cfg.viewers {
+        *by_country.entry(countries[v.node]).or_insert(0) += 1;
+    }
+    let mut ranked: Vec<(usize, u32)> =
+        by_country.iter().map(|(&c, &n)| (n, c)).collect();
+    ranked.sort_unstable_by(|a, b| b.cmp(a));
+    let congested: Vec<u32> = ranked.iter().take(2).map(|&(_, c)| c).collect();
+    for v in &mut cfg.viewers {
+        if congested.contains(&countries[v.node]) {
+            v.lossy_rr = Some((Duration::from_millis(900), 0.3));
+        }
+    }
+
+    let report = testbed::run(cfg).await.expect("geo fleet runs");
+
+    assert!(report.frames_broadcast >= 30, "broadcast too short: {}", report.frames_broadcast);
+    for v in &report.viewers {
+        assert!(
+            v.startup_ms.is_some(),
+            "viewer {:?} at node {:?} never completed a frame",
+            v.client,
+            v.node
+        );
+    }
+    let delivery = report.worst_delivery();
+    if delivery < 0.99 {
+        for v in &report.viewers {
+            if v.delivery() < 0.99 {
+                panic!(
+                    "viewer {:?} at node {:?}: delivered {}/{} (attach {:?}, \
+                     startup {:?} ms, packets {})",
+                    v.client, v.node, v.frames_completed, v.expected_frames,
+                    v.attach_at, v.startup_ms, v.packets
+                );
+            }
+        }
+    }
+    for &c in &congested {
+        assert!(
+            report.cc_decreases_in_country(c) >= 1,
+            "congested country {c} recorded no cc decrease: {:?}",
+            report.node_cc
+        );
+    }
+    // The batched hot path actually engaged.
+    assert!(report
+        .telemetry
+        .counters
+        .iter()
+        .any(|(k, v)| k == "transport.batch_rx_syscalls" && *v > 0));
 }
