@@ -29,7 +29,7 @@ use livenet_cc::{
 use livenet_media::{EncodedFrame, FrameKind, SimulcastLadder};
 use livenet_packet::{frag_meta, MediaKind, Packetizer, RtcpPacket, RtpPacket};
 use livenet_packet::rtp::ssrc_for_stream;
-use livenet_packet::{Nack, ReceiverReport, Remb};
+use livenet_packet::{Nack, ReceiverReport, Remb, RtxMiss};
 use livenet_types::{
     Bandwidth, ClientId, NodeId, SeqNo, SimDuration, SimTime, StreamId,
 };
@@ -129,6 +129,17 @@ pub struct NodeConfig {
     /// truncation. Socket drivers size their receive buffer from this;
     /// they additionally cap it at 64 KiB, the UDP maximum.
     pub max_datagram_bytes: usize,
+    /// Alternate RTX suppliers to re-NACK when the primary upstream
+    /// reports a cache miss (AutoRec-style multi-supplier recovery).
+    /// Candidates come from the cached backup paths, liveness-filtered
+    /// and RTT-ordered. `0` disables the alternate path entirely: misses
+    /// park on the primary and wait out its own recovery.
+    pub rtx_alt_suppliers: usize,
+    /// How long an unserviceable downstream NACK may stay parked in
+    /// `pending_rtx` before the loss-scan sweep evicts it. By then the
+    /// downstream has either recovered elsewhere or abandoned the hole,
+    /// so serving it would only produce duplicates.
+    pub pending_rtx_ttl: SimDuration,
 }
 
 impl NodeConfig {
@@ -150,6 +161,8 @@ impl NodeConfig {
             liveness_interval: SimDuration::from_millis(500),
             upstream_timeout: SimDuration::from_millis(2500),
             max_datagram_bytes: 64 * 1024,
+            rtx_alt_suppliers: 1,
+            pending_rtx_ttl: SimDuration::from_millis(1000),
         }
     }
 }
@@ -204,6 +217,9 @@ pub enum NodeEvent {
         stream: StreamId,
         /// Detection-to-recovery latency.
         after: SimDuration,
+        /// The recovery came from an alternate supplier, not the
+        /// established upstream (multi-supplier RTX).
+        alternate: bool,
     },
     /// A client's pending co-stream switch completed seamlessly.
     SwitchCompleted {
@@ -270,8 +286,22 @@ pub struct NodeStats {
     pub rtx_served: u64,
     /// NACKed sequences we did not have cached.
     pub rtx_unavailable: u64,
-    /// NACKs sent upstream.
+    /// Lost sequence numbers NACKed upstream (one per seq, not per
+    /// message — comparable with `rtx_served`/`rtx_unavailable`).
     pub nacks_sent: u64,
+    /// NACK messages sent upstream (each batches one scan's seqs).
+    pub nack_batches: u64,
+    /// Parked downstream NACK waiters evicted without being served
+    /// (stream reset purge or TTL sweep).
+    pub rtx_pending_expired: u64,
+    /// Lost sequences re-NACKed to an alternate supplier after the
+    /// primary reported a cache miss.
+    pub rtx_alternate_requests: u64,
+    /// Holes recovered by a retransmission from an alternate supplier.
+    pub rtx_alternate_recovered: u64,
+    /// Cache-missed sequences with no live alternate supplier available
+    /// (fell back to parking on the primary).
+    pub rtx_alternate_exhausted: u64,
     /// Duplicate packets discarded by the slow path.
     pub duplicates: u64,
     /// Subscription requests received.
@@ -294,6 +324,11 @@ impl NodeStats {
         sink.add(ids::NODE_RTX_SERVED, self.rtx_served);
         sink.add(ids::NODE_RTX_UNAVAILABLE, self.rtx_unavailable);
         sink.add(ids::NODE_NACKS_SENT, self.nacks_sent);
+        sink.add(ids::NODE_NACK_BATCHES, self.nack_batches);
+        sink.add(ids::NODE_RTX_PENDING_EXPIRED, self.rtx_pending_expired);
+        sink.add(ids::NODE_RTX_ALTERNATE_REQUESTS, self.rtx_alternate_requests);
+        sink.add(ids::NODE_RTX_ALTERNATE_RECOVERED, self.rtx_alternate_recovered);
+        sink.add(ids::NODE_RTX_ALTERNATE_EXHAUSTED, self.rtx_alternate_exhausted);
         sink.add(ids::NODE_DUPLICATES, self.duplicates);
         sink.add(ids::NODE_SUBS_RECEIVED, self.subs_received);
         sink.add(ids::NODE_LOCAL_HITS, self.local_hits);
@@ -352,9 +387,19 @@ pub struct OverlayNode {
     /// from our own cache (lost on our upstream link too). Served the
     /// moment the packet arrives — typically as our own recovery — instead
     /// of making the downstream wait out another NACK retry round.
-    pending_rtx: HashMap<StreamId, BTreeMap<u16, Vec<NodeId>>>,
+    /// Entries are purged on stream reset and swept by TTL in the loss
+    /// scan so stale waiters cannot eat the cap.
+    pending_rtx: HashMap<StreamId, BTreeMap<u16, PendingRtx>>,
     /// Telemetry.
     pub stats: NodeStats,
+}
+
+/// One parked downstream NACK: who is waiting, and since when (drives the
+/// TTL sweep).
+#[derive(Debug, Clone)]
+struct PendingRtx {
+    waiters: Vec<NodeId>,
+    parked_at: SimTime,
 }
 
 /// Bound on remembered unserviceable NACKs per stream.
@@ -855,12 +900,24 @@ impl OverlayNode {
                 return; // nothing further: not forwarded, not re-cached
             }
             RxOutcome::Recovered { after } => {
+                // A retransmission from anyone but the established
+                // upstream means an alternate supplier closed the hole.
+                let alternate = retransmit && self.upstream.get(&stream) != Some(&from);
+                if alternate {
+                    self.stats.rtx_alternate_recovered += 1;
+                }
                 actions.push(NodeAction::Event(NodeEvent::HoleRecovered {
                     stream,
                     after,
+                    alternate,
                 }));
             }
             RxOutcome::Fresh => {}
+            RxOutcome::Reset => {
+                // The sequence space restarted: parked downstream waiters
+                // keyed to the old space can never be served.
+                self.purge_pending_rtx(stream);
+            }
         }
 
         self.slow_path_insert(now, stream, &packet, actions);
@@ -891,13 +948,13 @@ impl OverlayNode {
         let Some(pend) = self.pending_rtx.get_mut(&stream) else {
             return;
         };
-        let Some(waiters) = pend.remove(&packet.header.seq.0) else {
+        let Some(entry) = pend.remove(&packet.header.seq.0) else {
             return;
         };
         if pend.is_empty() {
             self.pending_rtx.remove(&stream);
         }
-        for peer in waiters {
+        for peer in entry.waiters {
             self.stats.rtx_served += 1;
             self.enqueue_to_peer(
                 now,
@@ -907,6 +964,14 @@ impl OverlayNode {
                 true,
                 actions,
             );
+        }
+    }
+
+    /// Drop every parked downstream waiter of a stream (stream reset: the
+    /// old sequence space will never be served).
+    fn purge_pending_rtx(&mut self, stream: StreamId) {
+        if let Some(pend) = self.pending_rtx.remove(&stream) {
+            self.stats.rtx_pending_expired += pend.len() as u64;
         }
     }
 
@@ -973,22 +1038,49 @@ impl OverlayNode {
                     self.stats.rtx_served += 1;
                     self.enqueue_to_peer(now, peer, stream, pkt, true, actions);
                 }
-                for seq in unavailable {
-                    self.stats.rtx_unavailable += 1;
-                    // Only node waiters are parked: when our own recovery
-                    // arrives, `forward_recovery_to_clients` already fans
-                    // the retransmission out to every client subscriber.
-                    let Subscriber::Node(from) = peer else {
-                        continue;
-                    };
+                self.stats.rtx_unavailable += unavailable.len() as u64;
+                // Only node waiters are parked: when our own recovery
+                // arrives, `forward_recovery_to_clients` already fans
+                // the retransmission out to every client subscriber.
+                let Subscriber::Node(from) = peer else {
+                    return;
+                };
+                if unavailable.is_empty() {
+                    return;
+                }
+                for &seq in &unavailable {
                     let pend = self.pending_rtx.entry(stream).or_default();
                     if pend.len() < MAX_PENDING_RTX {
-                        let waiters = pend.entry(seq.0).or_default();
-                        if !waiters.contains(&from) {
-                            waiters.push(from);
+                        let entry = pend.entry(seq.0).or_insert_with(|| PendingRtx {
+                            waiters: Vec::new(),
+                            parked_at: now,
+                        });
+                        if !entry.waiters.contains(&from) {
+                            entry.waiters.push(from);
                         }
                     }
                 }
+                // Tell the requester which seqs missed the cache so it can
+                // chase an alternate supplier immediately instead of
+                // waiting out our own recovery (parking stays as the
+                // backstop: duplicates are absorbed downstream).
+                let miss = RtcpPacket::RtxMiss(RtxMiss {
+                    ssrc: ssrc_for_stream(stream),
+                    missing: unavailable,
+                });
+                actions.push(NodeAction::Send {
+                    to: peer,
+                    msg: OverlayMsg::Rtcp {
+                        stream,
+                        packet: miss.encode(),
+                    },
+                });
+            }
+            RtcpPacket::RtxMiss(RtxMiss { missing, .. }) => {
+                let Subscriber::Node(from) = peer else {
+                    return; // clients never supply RTX
+                };
+                self.on_rtx_miss(now, from, stream, missing, actions);
             }
             RtcpPacket::ReceiverReport(ReceiverReport { loss_fraction, .. }) => {
                 let sender = self.tx_sender(peer);
@@ -1007,6 +1099,97 @@ impl OverlayNode {
                 }
             }
         }
+    }
+
+    /// The upstream reported a cache miss for `missing`: immediately
+    /// re-NACK the still-outstanding holes to the best alternate suppliers
+    /// from the cached backup paths (AutoRec-style multi-supplier RTX).
+    /// With no live alternate, the parked waiter on the primary remains
+    /// the only recovery path — exactly the old single-supplier behavior.
+    fn on_rtx_miss(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        stream: StreamId,
+        missing: Vec<SeqNo>,
+        actions: &mut Vec<NodeAction>,
+    ) {
+        if self.cfg.rtx_alt_suppliers == 0 {
+            return;
+        }
+        let Some(rx) = self.rx.get(&stream) else {
+            return;
+        };
+        let chase = rx.still_missing(&missing, self.cfg.nack_retry_limit);
+        if chase.is_empty() {
+            return;
+        }
+        let alternates = self.alternate_suppliers(now, stream, from);
+        if alternates.is_empty() {
+            self.stats.rtx_alternate_exhausted += chase.len() as u64;
+            return;
+        }
+        if let Some(rx) = self.rx.get_mut(&stream) {
+            for &seq in &chase {
+                rx.note_nack(now, seq);
+            }
+        }
+        for alt in alternates {
+            self.stats.rtx_alternate_requests += chase.len() as u64;
+            self.stats.nacks_sent += chase.len() as u64;
+            self.stats.nack_batches += 1;
+            let rtcp = RtcpPacket::Nack(Nack {
+                ssrc: ssrc_for_stream(stream),
+                lost: chase.clone(),
+            });
+            actions.push(NodeAction::Send {
+                to: Subscriber::Node(alt),
+                msg: OverlayMsg::Rtcp {
+                    stream,
+                    packet: rtcp.encode(),
+                },
+            });
+        }
+    }
+
+    /// Candidate alternate RTX suppliers for a stream: the penultimate hop
+    /// of every cached backup path ending here (the neighbor that would
+    /// feed us on that path), excluding the miss sender and ourselves,
+    /// liveness-filtered, RTT-ordered (unknown RTT last, ties by id so the
+    /// choice is deterministic), capped at `rtx_alt_suppliers`.
+    fn alternate_suppliers(&self, now: SimTime, stream: StreamId, exclude: NodeId) -> Vec<NodeId> {
+        let timeout = self.cfg.upstream_timeout;
+        let mut cands: Vec<NodeId> = Vec::new();
+        for path in self.cached_paths(stream) {
+            if path.len() < 2 || path.last() != Some(&self.cfg.id) {
+                continue;
+            }
+            let hop = path[path.len() - 2];
+            if hop == exclude || hop == self.cfg.id || cands.contains(&hop) {
+                continue;
+            }
+            // Liveness: a supplier that went silent on us would eat the
+            // re-NACK and give the hole nothing. Never-heard candidates
+            // are tried optimistically — the NACK doubles as a probe.
+            let alive = match self.last_heard.get(&hop) {
+                Some(&heard) => now.saturating_since(heard) < timeout,
+                None => true,
+            };
+            if alive {
+                cands.push(hop);
+            }
+        }
+        cands.sort_by_key(|n| {
+            (
+                self.neighbor_rtt
+                    .get(n)
+                    .copied()
+                    .unwrap_or(SimDuration::MAX),
+                *n,
+            )
+        });
+        cands.truncate(self.cfg.rtx_alt_suppliers);
+        cands
     }
 
     fn tx_sender(&mut self, peer: Subscriber) -> &mut GccSender {
@@ -1232,18 +1415,22 @@ impl OverlayNode {
     fn loss_scan(&mut self, now: SimTime, actions: &mut Vec<NodeAction>) {
         let interval = self.cfg.nack_retry_interval;
         let limit = self.cfg.nack_retry_limit;
-        let mut nacks: Vec<(NodeId, StreamId, Vec<SeqNo>)> = Vec::new();
+        let mut nacks: Vec<(StreamId, NodeId, Vec<SeqNo>)> = Vec::new();
         for (&stream, rx) in self.rx.iter_mut() {
             let Some(&up) = self.upstream.get(&stream) else {
                 continue; // producer-local stream: nothing to NACK
             };
             let lost = rx.scan(now, interval, limit);
             if !lost.is_empty() {
-                nacks.push((up, stream, lost));
+                nacks.push((stream, up, lost));
             }
         }
-        for (up, stream, lost) in nacks {
-            self.stats.nacks_sent += 1;
+        // `self.rx` is a HashMap: sort so the emitted NACK order (and thus
+        // downstream packet interleaving) is identical across processes.
+        nacks.sort_by_key(|&(stream, up, _)| (stream, up));
+        for (stream, up, lost) in nacks {
+            self.stats.nacks_sent += lost.len() as u64;
+            self.stats.nack_batches += 1;
             let rtcp = RtcpPacket::Nack(Nack {
                 ssrc: ssrc_for_stream(stream),
                 lost,
@@ -1256,6 +1443,27 @@ impl OverlayNode {
                 },
             });
         }
+        self.sweep_pending_rtx(now);
+    }
+
+    /// Evict parked downstream waiters older than the TTL. Without this,
+    /// waiters whose packet never arrives here (and stale entries left by
+    /// downstream abandonment) would sit until stream teardown, eating the
+    /// `MAX_PENDING_RTX` cap and starving live NACKs.
+    fn sweep_pending_rtx(&mut self, now: SimTime) {
+        let ttl = self.cfg.pending_rtx_ttl;
+        let mut expired = 0u64;
+        self.pending_rtx.retain(|_, pend| {
+            pend.retain(|_, entry| {
+                let stale = now.saturating_since(entry.parked_at) >= ttl;
+                if stale {
+                    expired += 1;
+                }
+                !stale
+            });
+            !pend.is_empty()
+        });
+        self.stats.rtx_pending_expired += expired;
     }
 
     fn rr_tick(&mut self, _now: SimTime, actions: &mut Vec<NodeAction>) {

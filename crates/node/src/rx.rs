@@ -25,6 +25,11 @@ struct MissingEntry {
 pub enum RxOutcome {
     /// A never-before-seen, in-order packet.
     Fresh,
+    /// A forward jump past [`RESET_JUMP`]: the stream restarted (encoder
+    /// restart, rejoin after failover). All outstanding holes were
+    /// abandoned; callers must drop any per-seq state keyed to the old
+    /// sequence space (e.g. parked downstream RTX waiters).
+    Reset,
     /// A packet that filled a previously-detected hole (recovery).
     Recovered {
         /// Time from hole detection to recovery.
@@ -126,7 +131,7 @@ impl RxState {
                     self.highest = Some(seq);
                     self.received += 1;
                     self.expected += 1;
-                    return RxOutcome::Fresh;
+                    return RxOutcome::Reset;
                 }
                 // Mark intermediate holes, keeping the map bounded.
                 let mut s = h.next();
@@ -198,6 +203,38 @@ impl RxState {
             self.abandoned += 1;
         }
         to_nack
+    }
+
+    /// Of the given sequence numbers, those still tracked as holes whose
+    /// NACK count is below `retry_limit`.
+    ///
+    /// The multi-supplier recovery path uses this to decide which of an
+    /// upstream's [`RtxMiss`]-reported sequences are still worth chasing
+    /// on an alternate supplier: recovered/abandoned holes are gone, and
+    /// the retry-limit filter stops a chain of cache misses from bouncing
+    /// NACKs between suppliers forever.
+    ///
+    /// [`RtxMiss`]: livenet_packet::RtxMiss
+    pub fn still_missing(&self, seqs: &[SeqNo], retry_limit: u32) -> Vec<SeqNo> {
+        seqs.iter()
+            .copied()
+            .filter(|s| {
+                self.missing
+                    .get(&s.0)
+                    .is_some_and(|e| e.nacks_sent < retry_limit)
+            })
+            .collect()
+    }
+
+    /// Record an out-of-band NACK for a hole (sent outside [`Self::scan`],
+    /// e.g. re-issued to an alternate supplier). Counts against the retry
+    /// limit and restarts the retry-interval clock so the next scan does
+    /// not immediately duplicate it.
+    pub fn note_nack(&mut self, now: SimTime, seq: SeqNo) {
+        if let Some(entry) = self.missing.get_mut(&seq.0) {
+            entry.nacks_sent += 1;
+            entry.last_nack = Some(now);
+        }
     }
 
     /// Produce receiver-report statistics for the window since the last
@@ -309,6 +346,29 @@ mod tests {
     }
 
     #[test]
+    fn still_missing_filters_recovered_and_exhausted() {
+        let mut rx = RxState::new();
+        rx.on_packet(at(0), SeqNo(0), T);
+        rx.on_packet(at(10), SeqNo(4), T); // holes 1,2,3
+        let seqs = [SeqNo(1), SeqNo(2), SeqNo(3), SeqNo(9)];
+        // Seq 9 was never a hole.
+        assert_eq!(
+            rx.still_missing(&seqs, 5),
+            vec![SeqNo(1), SeqNo(2), SeqNo(3)]
+        );
+        // Recover 2: it drops out.
+        rx.on_packet(at(20), SeqNo(2), T);
+        assert_eq!(rx.still_missing(&seqs, 5), vec![SeqNo(1), SeqNo(3)]);
+        // Out-of-band NACKs count against the retry limit.
+        rx.note_nack(at(30), SeqNo(1));
+        rx.note_nack(at(40), SeqNo(1));
+        assert_eq!(rx.still_missing(&seqs, 2), vec![SeqNo(3)]);
+        // And they restart the retry-interval clock for the next scan.
+        let due = rx.scan(at(60), SimDuration::from_millis(50), 5);
+        assert_eq!(due, vec![SeqNo(3)], "seq 1 re-NACKed too early");
+    }
+
+    #[test]
     fn rr_stats_window_resets() {
         let mut rx = RxState::new();
         rx.on_packet(at(0), SeqNo(0), T);
@@ -339,9 +399,9 @@ mod tests {
         rx.on_packet(at(1), SeqNo(2), T); // one genuine hole
         assert_eq!(rx.outstanding_holes(), 1);
         // A jump far beyond any plausible reorder window resets the stream:
-        // no hole flood, prior holes abandoned.
+        // no hole flood, prior holes abandoned, and the caller is told so.
         let out = rx.on_packet(at(2), SeqNo(20_000), T);
-        assert_eq!(out, RxOutcome::Fresh);
+        assert_eq!(out, RxOutcome::Reset);
         assert_eq!(rx.outstanding_holes(), 0);
         assert_eq!(rx.abandoned, 1);
         assert_eq!(rx.highest(), Some(SeqNo(20_000)));

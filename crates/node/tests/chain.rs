@@ -4,9 +4,13 @@
 
 use bytes::Bytes;
 use livenet_emu::EventQueue;
-use livenet_media::{GopConfig, VideoEncoder};
-use livenet_node::{NodeAction, NodeConfig, NodeEvent, OverlayMsg, OverlayNode, Subscriber};
-use livenet_types::{Bandwidth, ClientId, NodeId, SimDuration, SimTime, StreamId};
+use livenet_media::{FrameKind, GopConfig, VideoEncoder};
+use livenet_node::{
+    NodeAction, NodeConfig, NodeEvent, OverlayMsg, OverlayNode, Subscriber, TimerKind,
+};
+use livenet_packet::rtp::ssrc_for_stream;
+use livenet_packet::{MediaKind, Nack, Packetizer, RtcpPacket, RtxMiss};
+use livenet_types::{Bandwidth, ClientId, NodeId, SeqNo, SimDuration, SimTime, StreamId};
 use std::collections::{BTreeMap, HashMap};
 
 /// Events flowing in the harness calendar.
@@ -33,6 +37,10 @@ struct Harness {
     link_delay: SimDuration,
     /// (from, to, nth-rtp-packet) triples to drop, counted per link.
     drop_rtp: Vec<(NodeId, NodeId, u64)>,
+    /// Links on which every retransmission is dropped ("the network hates
+    /// RTX"): models a link whose loss keeps eating the recovery traffic
+    /// too, so the sender's own NACK retries never close its hole.
+    drop_rtx: Vec<(NodeId, NodeId)>,
     rtp_sent: HashMap<(NodeId, NodeId), u64>,
     client_rx: HashMap<ClientId, Vec<OverlayMsg>>,
     events: Vec<(NodeId, NodeEvent)>,
@@ -65,6 +73,7 @@ impl Harness {
             queue,
             link_delay: SimDuration::from_millis(link_delay_ms),
             drop_rtp: Vec::new(),
+            drop_rtx: Vec::new(),
             rtp_sent: HashMap::new(),
             client_rx: HashMap::new(),
             events: Vec::new(),
@@ -90,6 +99,11 @@ impl Harness {
                                 f == from && t == n && i == idx
                             }) {
                                 continue; // dropped by "the network"
+                            }
+                            if matches!(msg, OverlayMsg::Rtp { retransmit: true, .. })
+                                && self.drop_rtx.iter().any(|&(f, t)| f == from && t == n)
+                            {
+                                continue; // recovery traffic eaten too
                             }
                         }
                         self.queue.schedule(
@@ -787,4 +801,296 @@ fn broadcaster_mobility_rehomes_producer() {
         frames_after > frames_before + 20,
         "stream did not survive the producer move: {frames_before} → {frames_after}"
     );
+}
+
+// ----------------------------------------------------------------------
+// Multi-supplier RTX and pending-RTX lifecycle
+// ----------------------------------------------------------------------
+
+/// One encoded RTP overlay datagram (single small packet) with the given
+/// sequence number, for direct-driving a node without the harness.
+fn rtp_datagram(seq: u16, sent_at: SimTime) -> Bytes {
+    let mut p = Packetizer::new(ssrc_for_stream(STREAM), SeqNo(seq));
+    let pkts = p.packetize_with_meta(
+        MediaKind::Video,
+        u32::from(seq).wrapping_mul(3000),
+        &Bytes::from(vec![0u8; 64]),
+        None,
+        FrameKind::P.to_nibble(),
+    );
+    OverlayMsg::Rtp {
+        stream: STREAM,
+        sent_at,
+        packet: pkts[0].encode(),
+        retransmit: false,
+    }
+    .encode()
+}
+
+/// NACK sequence lists extracted from a node's emitted actions.
+fn nack_batches_in(actions: &[NodeAction]) -> Vec<Vec<SeqNo>> {
+    actions
+        .iter()
+        .filter_map(|a| match a {
+            NodeAction::Send {
+                msg: OverlayMsg::Rtcp { packet, .. },
+                ..
+            } => match RtcpPacket::decode(packet.clone()) {
+                Ok(RtcpPacket::Nack(Nack { lost, .. })) => Some(lost),
+                _ => None,
+            },
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn cache_miss_is_recovered_from_alternate_supplier() {
+    // Diamond: A(1) feeds B(2) and D(4); C(3) subscribes via B with
+    // A → D → C installed as a backup path. One packet is lost on A→B and
+    // every retransmission on A→B dies too, so B can never serve C's NACK
+    // (cache miss) nor close its own hole. B must answer with an RTX-miss
+    // and C must immediately chase D — which is warm thanks to its own
+    // viewer — instead of waiting out B's parked recovery.
+    let mut h = Harness::new(&[1, 2, 3, 4], 10);
+    h.drop_rtp.push((NodeId::new(1), NodeId::new(2), 20));
+    h.drop_rtx.push((NodeId::new(1), NodeId::new(2)));
+    h.with_node(1, |n, _| {
+        n.register_producer(STREAM, None);
+        Vec::new()
+    });
+    // A viewer at D keeps the alternate supplier's cache warm.
+    h.with_node(4, |n, now| {
+        let mut actions = Vec::new();
+        n.client_attach(
+            now,
+            ClientId::new(12),
+            STREAM,
+            Some(Bandwidth::from_mbps(50)),
+            Some(&[NodeId::new(1), NodeId::new(4)]),
+            &mut actions,
+        );
+        actions
+    });
+    h.with_node(3, |n, now| {
+        let mut actions = Vec::new();
+        n.client_attach(
+            now,
+            ClientId::new(9),
+            STREAM,
+            Some(Bandwidth::from_mbps(50)),
+            Some(&[NodeId::new(1), NodeId::new(2), NodeId::new(3)]),
+            &mut actions,
+        );
+        n.install_paths(
+            STREAM,
+            &[vec![NodeId::new(1), NodeId::new(4), NodeId::new(3)]],
+        );
+        actions
+    });
+    h.run_until(SimTime::from_millis(200));
+    let mut enc = VideoEncoder::new(
+        STREAM,
+        GopConfig::default(),
+        Bandwidth::from_mbps(2),
+        SimTime::from_millis(200),
+    );
+    let end = SimTime::from_millis(200) + SimDuration::from_secs(3);
+    let mut next = enc.next_capture_time();
+    while next < end {
+        h.run_until(next);
+        let frame = enc.next_frame();
+        let payload = Bytes::from(vec![0u8; frame.size_bytes as usize]);
+        h.with_node(1, |n, now| n.ingest_frame(now, &frame, &payload));
+        next = enc.next_capture_time();
+    }
+    h.run_until(end + SimDuration::from_secs(1));
+
+    // B missed the cache and said so instead of silently parking.
+    assert!(h.node(2).stats.rtx_unavailable >= 1, "B never cache-missed");
+    // C chased the alternate and the hole closed from D's retransmission.
+    let c = h.node(3);
+    assert!(
+        c.stats.rtx_alternate_requests >= 1,
+        "C never re-NACKed an alternate supplier"
+    );
+    assert!(
+        c.stats.rtx_alternate_recovered >= 1,
+        "no hole closed by the alternate: {:?}",
+        c.stats
+    );
+    assert!(h.node(4).stats.rtx_served >= 1, "D served no RTX");
+    assert!(
+        h.events.iter().any(|(n, e)| *n == NodeId::new(3)
+            && matches!(e, NodeEvent::HoleRecovered { alternate: true, .. })),
+        "no alternate-supplier recovery event at C"
+    );
+    // B's parked waiter for C could never be served: the TTL sweep must
+    // have evicted it rather than leaving it until stream teardown.
+    assert!(
+        h.node(2).stats.rtx_pending_expired >= 1,
+        "B's dead parked waiter was never swept"
+    );
+}
+
+#[test]
+fn pending_rtx_is_capped_and_swept_by_ttl() {
+    // A downstream NACKs 1500 sequences the node cannot serve: only
+    // MAX_PENDING_RTX (1024) may park, every miss is reported back in one
+    // RTX-miss, and the loss-scan sweep evicts the parked entries once the
+    // TTL passes — none earlier.
+    let mut node = OverlayNode::new(NodeConfig::new(NodeId::new(2)));
+    node.register_producer(STREAM, None); // empty cache: every seq misses
+    let _ = node.start(SimTime::ZERO);
+    let lost: Vec<SeqNo> = (0u16..1500).map(SeqNo).collect();
+    let nack = RtcpPacket::Nack(Nack {
+        ssrc: ssrc_for_stream(STREAM),
+        lost,
+    });
+    let actions = node.on_datagram(
+        SimTime::from_millis(10),
+        NodeId::new(3),
+        OverlayMsg::Rtcp {
+            stream: STREAM,
+            packet: nack.encode(),
+        }
+        .encode(),
+    );
+    assert_eq!(node.stats.rtx_unavailable, 1500);
+    let miss_lens: Vec<usize> = actions
+        .iter()
+        .filter_map(|a| match a {
+            NodeAction::Send {
+                msg: OverlayMsg::Rtcp { packet, .. },
+                ..
+            } => match RtcpPacket::decode(packet.clone()) {
+                Ok(RtcpPacket::RtxMiss(RtxMiss { missing, .. })) => Some(missing.len()),
+                _ => None,
+            },
+            _ => None,
+        })
+        .collect();
+    assert_eq!(miss_lens, vec![1500], "every missed seq must be reported");
+
+    // Before the TTL: nothing expires.
+    let _ = node.on_timer(SimTime::from_millis(500), TimerKind::LossScan.encode());
+    assert_eq!(node.stats.rtx_pending_expired, 0);
+    // After the TTL: exactly the capped population is evicted.
+    let _ = node.on_timer(SimTime::from_millis(1200), TimerKind::LossScan.encode());
+    assert_eq!(node.stats.rtx_pending_expired, 1024);
+    // The sweep is complete: a later sweep finds nothing left.
+    let _ = node.on_timer(SimTime::from_millis(2400), TimerKind::LossScan.encode());
+    assert_eq!(node.stats.rtx_pending_expired, 1024);
+}
+
+#[test]
+fn stream_reset_purges_parked_rtx_waiters() {
+    // Waiters parked against the old sequence space can never be served
+    // after a large forward jump (stream reset): they must be purged, not
+    // left to rot against the cap.
+    let mut node = OverlayNode::new(NodeConfig::new(NodeId::new(2)));
+    node.on_datagram(SimTime::ZERO, NodeId::new(1), rtp_datagram(0, SimTime::ZERO));
+    let nack = RtcpPacket::Nack(Nack {
+        ssrc: ssrc_for_stream(STREAM),
+        lost: vec![SeqNo(2), SeqNo(3)],
+    });
+    node.on_datagram(
+        SimTime::from_millis(5),
+        NodeId::new(5),
+        OverlayMsg::Rtcp {
+            stream: STREAM,
+            packet: nack.encode(),
+        }
+        .encode(),
+    );
+    assert_eq!(node.stats.rtx_unavailable, 2);
+    assert_eq!(node.stats.rtx_pending_expired, 0);
+    // Forward jump far past RESET_JUMP: the old space is gone.
+    node.on_datagram(
+        SimTime::from_millis(20),
+        NodeId::new(1),
+        rtp_datagram(5000, SimTime::from_millis(20)),
+    );
+    assert_eq!(
+        node.stats.rtx_pending_expired, 2,
+        "reset did not purge the parked waiters"
+    );
+}
+
+/// Establish `upstream` (node 2) for STREAM on a fresh consumer node.
+fn consumer_with_upstream() -> OverlayNode {
+    let mut node = OverlayNode::new(NodeConfig::new(NodeId::new(3)));
+    let mut actions = Vec::new();
+    node.client_attach(
+        SimTime::ZERO,
+        ClientId::new(9),
+        STREAM,
+        None,
+        Some(&[NodeId::new(2), NodeId::new(3)]),
+        &mut actions,
+    );
+    node.on_datagram(
+        SimTime::from_millis(5),
+        NodeId::new(2),
+        OverlayMsg::SubscribeOk { stream: STREAM }.encode(),
+    );
+    assert_eq!(node.upstream_of(STREAM), Some(NodeId::new(2)));
+    node
+}
+
+#[test]
+fn nack_retries_stop_at_retry_limit() {
+    // One unrecovered hole: the node NACKs it exactly `nack_retry_limit`
+    // times, then abandons it — no infinite retry stream.
+    let mut node = consumer_with_upstream();
+    node.on_datagram(
+        SimTime::from_millis(10),
+        NodeId::new(2),
+        rtp_datagram(0, SimTime::from_millis(10)),
+    );
+    node.on_datagram(
+        SimTime::from_millis(12),
+        NodeId::new(2),
+        rtp_datagram(2, SimTime::from_millis(12)),
+    );
+    let mut batches = Vec::new();
+    for i in 1..=20u64 {
+        let now = SimTime::from_millis(12 + i * 60);
+        batches.extend(nack_batches_in(&node.on_timer(
+            now,
+            TimerKind::LossScan.encode(),
+        )));
+    }
+    assert_eq!(batches.len(), 5, "hole must be NACKed exactly limit times");
+    for b in &batches {
+        assert_eq!(b.as_slice(), &[SeqNo(1)]);
+    }
+    assert_eq!(node.stats.nacks_sent, 5);
+    assert_eq!(node.stats.nack_batches, 5);
+}
+
+#[test]
+fn nacks_sent_counts_seqs_and_nack_batches_counts_messages() {
+    // A 4-seq hole in one scan round is one NACK message but four lost
+    // sequences: the two counters must diverge accordingly.
+    let mut node = consumer_with_upstream();
+    node.on_datagram(
+        SimTime::from_millis(10),
+        NodeId::new(2),
+        rtp_datagram(0, SimTime::from_millis(10)),
+    );
+    node.on_datagram(
+        SimTime::from_millis(12),
+        NodeId::new(2),
+        rtp_datagram(5, SimTime::from_millis(12)),
+    );
+    let actions = node.on_timer(SimTime::from_millis(80), TimerKind::LossScan.encode());
+    let batches = nack_batches_in(&actions);
+    assert_eq!(batches.len(), 1);
+    assert_eq!(
+        batches[0].as_slice(),
+        &[SeqNo(1), SeqNo(2), SeqNo(3), SeqNo(4)]
+    );
+    assert_eq!(node.stats.nacks_sent, 4, "per-seq counter");
+    assert_eq!(node.stats.nack_batches, 1, "per-message counter");
 }

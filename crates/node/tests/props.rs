@@ -138,7 +138,7 @@ proptest! {
             let t = SimTime::from_millis(i as u64);
             let out = rx.on_packet(t, SeqNo(s), SimDuration::from_millis(3));
             match out {
-                RxOutcome::Fresh | RxOutcome::Recovered { .. } => {
+                RxOutcome::Fresh | RxOutcome::Reset | RxOutcome::Recovered { .. } => {
                     prop_assert!(delivered.insert(s), "double-counted {s}");
                     fresh_or_recovered += 1;
                 }

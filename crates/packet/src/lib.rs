@@ -23,5 +23,5 @@ pub mod rtcp;
 pub mod rtp;
 
 pub use frame::{frag_is_start, frag_meta, Depacketizer, FrameAssembly, Packetizer, ReassembledFrame};
-pub use rtcp::{Nack, ReceiverReport, Remb, RtcpPacket};
+pub use rtcp::{Nack, ReceiverReport, Remb, RtcpPacket, RtxMiss};
 pub use rtp::{MediaKind, RtpHeader, RtpPacket, DELAY_EXT_ID, MTU, RTP_CLOCK_HZ};

@@ -20,6 +20,7 @@ const MAGIC: u8 = 0xCC;
 const KIND_NACK: u8 = 1;
 const KIND_RR: u8 = 2;
 const KIND_REMB: u8 = 3;
+const KIND_RTX_MISS: u8 = 4;
 
 /// A negative acknowledgement listing lost sequence numbers.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -43,6 +44,18 @@ pub struct ReceiverReport {
     pub jitter_us: u32,
 }
 
+/// Negative reply to a NACK: the sequence numbers the upstream could *not*
+/// serve from its packet cache (lost on its own upstream link too, or
+/// already evicted). Receiving this tells the requester to try an alternate
+/// supplier immediately instead of waiting out the upstream's own recovery.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RtxMiss {
+    /// Stream the miss applies to.
+    pub ssrc: Ssrc,
+    /// The NACKed sequence numbers that missed the cache.
+    pub missing: Vec<SeqNo>,
+}
+
 /// Receiver-estimated max bitrate (delay-based GCC output), bits per second.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Remb {
@@ -61,6 +74,8 @@ pub enum RtcpPacket {
     ReceiverReport(ReceiverReport),
     /// Receiver-side bandwidth estimate.
     Remb(Remb),
+    /// NACKed sequences the upstream's cache could not serve.
+    RtxMiss(RtxMiss),
 }
 
 impl RtcpPacket {
@@ -91,6 +106,14 @@ impl RtcpPacket {
                 buf.put_u32(m.ssrc.0);
                 buf.put_u64(m.bitrate_bps);
             }
+            RtcpPacket::RtxMiss(m) => {
+                buf.put_u8(KIND_RTX_MISS);
+                buf.put_u32(m.ssrc.0);
+                buf.put_u16(u16::try_from(m.missing.len().min(u16::MAX as usize)).unwrap());
+                for s in m.missing.iter().take(u16::MAX as usize) {
+                    buf.put_u16(s.0);
+                }
+            }
         }
         buf.freeze()
     }
@@ -101,6 +124,7 @@ impl RtcpPacket {
             RtcpPacket::Nack(n) => 2 + 4 + 2 + 2 * n.lost.len().min(u16::MAX as usize),
             RtcpPacket::ReceiverReport(_) => 2 + 4 + 1 + 2 + 4,
             RtcpPacket::Remb(_) => 2 + 4 + 8,
+            RtcpPacket::RtxMiss(m) => 2 + 4 + 2 + 2 * m.missing.len().min(u16::MAX as usize),
         }
     }
 
@@ -149,6 +173,18 @@ impl RtcpPacket {
                 let ssrc = Ssrc(buf.get_u32());
                 let bitrate_bps = buf.get_u64();
                 Ok(RtcpPacket::Remb(Remb { ssrc, bitrate_bps }))
+            }
+            KIND_RTX_MISS => {
+                if buf.remaining() < 6 {
+                    return Err(Error::decode("truncated RTX-miss"));
+                }
+                let ssrc = Ssrc(buf.get_u32());
+                let count = buf.get_u16() as usize;
+                if buf.remaining() < count * 2 {
+                    return Err(Error::decode("truncated RTX-miss list"));
+                }
+                let missing = (0..count).map(|_| SeqNo(buf.get_u16())).collect();
+                Ok(RtcpPacket::RtxMiss(RtxMiss { ssrc, missing }))
             }
             other => Err(Error::decode(format!("unknown RTCP kind {other}"))),
         }
@@ -222,6 +258,28 @@ mod tests {
     fn decode_rejects_unknown_kind() {
         let bytes = Bytes::from(vec![MAGIC, 99, 0, 0, 0, 0]);
         assert!(RtcpPacket::decode(bytes).is_err());
+    }
+
+    #[test]
+    fn rtx_miss_roundtrip() {
+        let m = RtcpPacket::RtxMiss(RtxMiss {
+            ssrc: Ssrc(42),
+            missing: vec![SeqNo(9), SeqNo(10), SeqNo(65535)],
+        });
+        let d = RtcpPacket::decode(m.encode()).unwrap();
+        assert_eq!(d, m);
+        assert_eq!(m.encode().len(), m.wire_len());
+    }
+
+    #[test]
+    fn decode_rejects_truncated_rtx_miss_list() {
+        // Claims 3 missing seqnos but provides none.
+        let mut buf = BytesMut::new();
+        buf.put_u8(MAGIC);
+        buf.put_u8(KIND_RTX_MISS);
+        buf.put_u32(1);
+        buf.put_u16(3);
+        assert!(RtcpPacket::decode(buf.freeze()).is_err());
     }
 
     #[test]

@@ -1,0 +1,359 @@
+//! Multi-supplier RTX recovery scenario ("AutoRec", DESIGN.md §14).
+//!
+//! A diamond overlay — producer P feeding primary relay B and backup relay
+//! D, consumer C with one viewer — streams while the P–B leg is
+//! *degraded*: long propagation delay (the reason a backup path exists at
+//! all) plus random loss in both directions. Every hole C sees is also a
+//! hole at B (the B–C link is clean), and B's own recovery inherently
+//! costs the fat P–B round trip, so C's NACK to B always arrives while B
+//! is still missing the packet:
+//!
+//! * **Multi-supplier** (`alt_suppliers > 0`) — on the cache miss B
+//!   replies with an RTX-miss and C immediately re-NACKs D — warm thanks
+//!   to its own viewer and reachable over short clean links — closing the
+//!   hole in tens of ms. Parking on B stays armed as the backstop, so
+//!   this mode is never slower than the baseline.
+//! * **Single-supplier baseline** (`alt_suppliers == 0`) — C parks on B
+//!   and waits out B's full recovery round trip; holes whose NACK or
+//!   retransmission is lost on the degraded leg slip further, or are
+//!   abandoned outright once the retry budget runs dry.
+
+use crate::adapter::{client_host_id, EmuHost};
+use bytes::Bytes;
+use livenet_emu::{LinkConfig, LossModel, NetSim};
+use livenet_media::{GopConfig, VideoEncoder};
+use livenet_node::{NodeConfig, NodeEvent, OverlayNode};
+use livenet_types::{Bandwidth, ClientId, NodeId, SimDuration, SimTime, StreamId};
+
+/// Stream id used by AutoRec runs.
+pub const AUTOREC_STREAM: StreamId = StreamId(902);
+
+/// Scenario parameters.
+#[derive(Debug, Clone)]
+pub struct AutorecScenario {
+    /// Alternate suppliers the consumer may chase on a primary cache miss
+    /// (`NodeConfig::rtx_alt_suppliers`); `0` is the single-supplier
+    /// baseline.
+    pub alt_suppliers: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Broadcast duration.
+    pub duration: SimDuration,
+    /// One-way delay of the healthy overlay links (B–C, P–D, D–C).
+    pub link_delay: SimDuration,
+    /// One-way delay of the degraded P–B leg. The gap between this and
+    /// `link_delay` is what the alternate supplier wins back: B's own
+    /// recovery costs a P–B round trip, the chase via D costs short hops.
+    pub primary_delay: SimDuration,
+    /// Loss model of the P–B link (applied in both directions, so NACKs
+    /// and retransmissions die there too).
+    pub loss: LossModel,
+}
+
+impl AutorecScenario {
+    /// Default scenario for the given supplier count and seed: 20 s of
+    /// 2 Mbps video over an 80 ms / 3 %-loss primary leg with 10 ms
+    /// healthy links.
+    pub fn new(alt_suppliers: usize, seed: u64) -> Self {
+        AutorecScenario {
+            alt_suppliers,
+            seed,
+            duration: SimDuration::from_secs(20),
+            link_delay: SimDuration::from_millis(10),
+            primary_delay: SimDuration::from_millis(80),
+            loss: LossModel::Bernoulli { p: 0.03 },
+        }
+    }
+}
+
+/// One hole recovery observed at the consumer.
+#[derive(Debug, Clone, Copy)]
+pub struct AutorecRecord {
+    /// Sim time the hole closed, in ms.
+    pub at_ms: f32,
+    /// Detection-to-recovery latency, in ms.
+    pub recover_ms: f32,
+    /// The closing retransmission came from an alternate supplier.
+    pub alternate: bool,
+}
+
+/// Everything harvested from one run.
+#[derive(Debug, Clone, Default)]
+pub struct AutorecOutcome {
+    /// Hole recoveries at the consumer, in event order.
+    pub records: Vec<AutorecRecord>,
+    /// Consumer: sequences re-NACKed to alternates after an RTX-miss.
+    pub alternate_requests: u64,
+    /// Consumer: holes closed by an alternate's retransmission.
+    pub alternate_recovered: u64,
+    /// Consumer: cache-missed sequences with no live alternate.
+    pub alternate_exhausted: u64,
+    /// Primary relay: NACKed sequences it could not serve.
+    pub primary_misses: u64,
+    /// Primary relay: parked waiters evicted by reset purge or TTL sweep.
+    pub primary_pending_expired: u64,
+    /// Consumer: lost sequences NACKed (per seq).
+    pub consumer_nack_seqs: u64,
+    /// Consumer: NACK messages sent.
+    pub consumer_nack_batches: u64,
+    /// Frames the viewer at the consumer rendered.
+    pub frames_rendered: u64,
+}
+
+impl AutorecOutcome {
+    /// Median detection-to-recovery latency over every record, `NaN` when
+    /// there are none.
+    pub fn median_recover_ms(&self) -> f64 {
+        let mut v: Vec<f32> = self.records.iter().map(|r| r.recover_ms).collect();
+        if v.is_empty() {
+            return f64::NAN;
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        f64::from(v[(v.len() - 1) / 2])
+    }
+
+    /// Bit-exact equality — the determinism contract the bench asserts
+    /// across worker-thread counts (floats compared via their bits).
+    pub fn bit_identical(&self, other: &Self) -> bool {
+        self.records.len() == other.records.len()
+            && self
+                .records
+                .iter()
+                .zip(&other.records)
+                .all(|(a, b)| {
+                    a.at_ms.to_bits() == b.at_ms.to_bits()
+                        && a.recover_ms.to_bits() == b.recover_ms.to_bits()
+                        && a.alternate == b.alternate
+                })
+            && self.alternate_requests == other.alternate_requests
+            && self.alternate_recovered == other.alternate_recovered
+            && self.alternate_exhausted == other.alternate_exhausted
+            && self.primary_misses == other.primary_misses
+            && self.primary_pending_expired == other.primary_pending_expired
+            && self.consumer_nack_seqs == other.consumer_nack_seqs
+            && self.consumer_nack_batches == other.consumer_nack_batches
+            && self.frames_rendered == other.frames_rendered
+    }
+}
+
+/// Run the scenario to completion.
+pub fn run_autorec(sc: &AutorecScenario) -> AutorecOutcome {
+    // Host ids: 1 = producer P, 2 = primary relay B, 3 = consumer C,
+    // 4 = backup relay D. Links: P–B (bursty), B–C, P–D, D–C (clean).
+    let p = NodeId::new(1);
+    let b = NodeId::new(2);
+    let c = NodeId::new(3);
+    let d = NodeId::new(4);
+    let mut sim: NetSim<EmuHost> = NetSim::new(sc.seed);
+
+    let rtt = sc.link_delay * 2;
+    for &id in &[p, b, c, d] {
+        let mut ncfg = NodeConfig::new(id);
+        ncfg.rtx_alt_suppliers = sc.alt_suppliers;
+        let mut node = OverlayNode::new(ncfg);
+        for &peer in &[p, b, c, d] {
+            if peer != id {
+                let peer_rtt = if (id, peer) == (p, b) || (id, peer) == (b, p) {
+                    sc.primary_delay * 2
+                } else {
+                    rtt
+                };
+                node.set_neighbor_rtt(peer, peer_rtt);
+            }
+        }
+        sim.add_host(id, EmuHost::node(node));
+    }
+    let clean = LinkConfig {
+        delay: sc.link_delay,
+        bandwidth: Bandwidth::from_gbps(1),
+        queue_bytes: 4 << 20,
+        loss: LossModel::None,
+        jitter: SimDuration::ZERO,
+    };
+    let degraded = LinkConfig {
+        delay: sc.primary_delay,
+        loss: sc.loss,
+        ..clean
+    };
+    sim.add_duplex(p, b, degraded);
+    sim.add_duplex(b, c, clean);
+    sim.add_duplex(p, d, clean);
+    sim.add_duplex(d, c, clean);
+
+    sim.with_host(p, |h, _| {
+        if let Some(s) = h.as_node_mut() {
+            s.node.register_producer(AUTOREC_STREAM, None);
+        }
+    });
+
+    let gop = GopConfig::default();
+    let access = LinkConfig {
+        delay: SimDuration::from_millis(15),
+        bandwidth: Bandwidth::from_mbps(50),
+        queue_bytes: 1 << 20,
+        loss: LossModel::None,
+        jitter: SimDuration::ZERO,
+    };
+    // Viewer 1 at C over the primary path, with the backup path cached.
+    let viewer = ClientId::new(1);
+    let vhost = client_host_id(viewer);
+    sim.add_host(
+        vhost,
+        EmuHost::client(
+            viewer,
+            SimTime::from_millis(100),
+            gop.fps,
+            SimDuration::from_millis(300),
+        ),
+    );
+    sim.add_duplex(c, vhost, access);
+    let primary = vec![p, b, c];
+    let backup = vec![p, d, c];
+    sim.with_host(c, |h, ctx| {
+        if let Some(s) = h.as_node_mut() {
+            let mut actions = Vec::new();
+            s.node.client_attach(
+                ctx.now(),
+                viewer,
+                AUTOREC_STREAM,
+                Some(Bandwidth::from_mbps(50)),
+                Some(&primary),
+                &mut actions,
+            );
+            s.node
+                .install_paths(AUTOREC_STREAM, std::slice::from_ref(&backup));
+            crate::adapter::apply_node_actions(s, ctx, actions);
+        }
+    });
+    // Viewer 2 at D keeps the alternate supplier's cache warm.
+    let warmer = ClientId::new(2);
+    let whost = client_host_id(warmer);
+    sim.add_host(
+        whost,
+        EmuHost::client(
+            warmer,
+            SimTime::from_millis(100),
+            gop.fps,
+            SimDuration::from_millis(300),
+        ),
+    );
+    sim.add_duplex(d, whost, access);
+    let warm_path = vec![p, d];
+    sim.with_host(d, |h, ctx| {
+        if let Some(s) = h.as_node_mut() {
+            let mut actions = Vec::new();
+            s.node.client_attach(
+                ctx.now(),
+                warmer,
+                AUTOREC_STREAM,
+                Some(Bandwidth::from_mbps(50)),
+                Some(&warm_path),
+                &mut actions,
+            );
+            crate::adapter::apply_node_actions(s, ctx, actions);
+        }
+    });
+
+    // Encoder-driven broadcast.
+    let start = SimTime::from_millis(50);
+    let mut encoder = VideoEncoder::new(AUTOREC_STREAM, gop, Bandwidth::from_mbps(2), start);
+    let end = start + sc.duration;
+    loop {
+        let next = encoder.next_capture_time();
+        if next >= end {
+            break;
+        }
+        sim.run_until(next);
+        let frame = encoder.next_frame();
+        let payload = Bytes::from(vec![0u8; frame.size_bytes as usize]);
+        sim.with_host(p, |h, ctx| {
+            if let Some(s) = h.as_node_mut() {
+                let actions = s.node.ingest_frame(ctx.now(), &frame, &payload);
+                crate::adapter::apply_node_actions(s, ctx, actions);
+            }
+        });
+    }
+    sim.run_until(end + SimDuration::from_secs(2));
+
+    // Harvest.
+    let mut out = AutorecOutcome::default();
+    if let Some(host) = sim.host(c) {
+        if let Some(s) = host.as_node() {
+            for (at, e) in &s.events {
+                if let NodeEvent::HoleRecovered {
+                    after, alternate, ..
+                } = e
+                {
+                    out.records.push(AutorecRecord {
+                        at_ms: (at.as_secs_f64() * 1000.0) as f32,
+                        recover_ms: (after.as_secs_f64() * 1000.0) as f32,
+                        alternate: *alternate,
+                    });
+                }
+            }
+            out.alternate_requests = s.node.stats.rtx_alternate_requests;
+            out.alternate_recovered = s.node.stats.rtx_alternate_recovered;
+            out.alternate_exhausted = s.node.stats.rtx_alternate_exhausted;
+            out.consumer_nack_seqs = s.node.stats.nacks_sent;
+            out.consumer_nack_batches = s.node.stats.nack_batches;
+        }
+    }
+    if let Some(host) = sim.host(b) {
+        if let Some(s) = host.as_node() {
+            out.primary_misses = s.node.stats.rtx_unavailable;
+            out.primary_pending_expired = s.node.stats.rtx_pending_expired;
+        }
+    }
+    if let Some(host) = sim.host(vhost) {
+        if let Some(cs) = host.as_client() {
+            out.frames_rendered = cs.frames.len() as u64;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degraded_leg_produces_misses_and_recoveries() {
+        let out = run_autorec(&AutorecScenario::new(1, 5));
+        assert!(out.primary_misses > 0, "B never cache-missed");
+        assert!(out.records.len() > 50, "too few recoveries at C");
+        // 20 s at 15 fps = 300 frames; nearly all must survive the loss.
+        assert!(out.frames_rendered > 290, "{}", out.frames_rendered);
+    }
+
+    #[test]
+    fn alternate_supplier_beats_the_primary_round_trip() {
+        let alt = run_autorec(&AutorecScenario::new(1, 5));
+        let base = run_autorec(&AutorecScenario::new(0, 5));
+        assert!(
+            alt.alternate_recovered > 0,
+            "multi-supplier mode never recovered via the alternate: {alt:?}"
+        );
+        assert_eq!(
+            base.alternate_recovered, 0,
+            "baseline must not chase alternates"
+        );
+        assert!(base.records.iter().all(|r| !r.alternate));
+        // The chase over short clean links beats the primary's fat round
+        // trip by a wide margin, not a hair.
+        assert!(
+            alt.median_recover_ms() < base.median_recover_ms() / 2.0,
+            "alternate median {} !< half of baseline median {}",
+            alt.median_recover_ms(),
+            base.median_recover_ms()
+        );
+    }
+
+    #[test]
+    fn outcomes_are_deterministic() {
+        for alts in [0usize, 1] {
+            let a = run_autorec(&AutorecScenario::new(alts, 9));
+            let b = run_autorec(&AutorecScenario::new(alts, 9));
+            assert!(a.bit_identical(&b), "alts={alts} diverged");
+        }
+    }
+}

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod adapter;
+pub mod autorec;
 pub mod calibrate;
 pub mod control;
 pub mod fleet;
@@ -36,6 +37,7 @@ pub mod viewer;
 pub mod workload;
 
 pub use adapter::{EmuHost, HostEvent};
+pub use autorec::{run_autorec, AutorecOutcome, AutorecRecord, AutorecScenario};
 pub use calibrate::LatencyConstants;
 pub use control::{ControlPlane, ReplicationConfig, ReplicationSummary};
 pub use fleet::{

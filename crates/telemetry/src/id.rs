@@ -80,8 +80,22 @@ pub mod ids {
     pub const NODE_RTX_SERVED: MetricId = MetricId("node.rtx_served");
     /// NACKs that missed the local cache.
     pub const NODE_RTX_UNAVAILABLE: MetricId = MetricId("node.rtx_unavailable");
-    /// NACKs sent upstream.
+    /// Lost sequence numbers NACKed upstream (per seq, comparable with
+    /// `node.rtx_served` / `node.rtx_unavailable`).
     pub const NODE_NACKS_SENT: MetricId = MetricId("node.nacks_sent");
+    /// NACK messages sent upstream (each batches one scan's seqs).
+    pub const NODE_NACK_BATCHES: MetricId = MetricId("node.nack_batches");
+    /// Parked downstream RTX waiters evicted unserved (reset purge + TTL).
+    pub const NODE_RTX_PENDING_EXPIRED: MetricId = MetricId("node.rtx_pending_expired");
+    /// Sequences re-NACKed to an alternate supplier after a cache miss.
+    pub const NODE_RTX_ALTERNATE_REQUESTS: MetricId =
+        MetricId("node.rtx_alternate_requests");
+    /// Holes recovered by an alternate supplier's retransmission.
+    pub const NODE_RTX_ALTERNATE_RECOVERED: MetricId =
+        MetricId("node.rtx_alternate_recovered");
+    /// Cache-missed sequences with no live alternate supplier to chase.
+    pub const NODE_RTX_ALTERNATE_EXHAUSTED: MetricId =
+        MetricId("node.rtx_alternate_exhausted");
     /// Duplicate packets suppressed.
     pub const NODE_DUPLICATES: MetricId = MetricId("node.duplicates");
     /// Subscriptions received from downstream.

@@ -23,7 +23,7 @@
 //! same quantities as the emulator's client model (startup delay, E2E
 //! delay via the RTP delay field, delivery completeness) on real sockets.
 
-use crate::batch::BatchBackend;
+use crate::batch::{self, BatchBackend, BatchSocket, RecvBatch, SendDatagram, MAX_BATCH};
 use crate::brain::BrainHandle;
 use crate::clock::WallClock;
 use crate::node::{NodeCommand, NodeHandle, UdpOverlayNode, WireNodeConfig};
@@ -40,7 +40,6 @@ use livenet_topology::{GeoConfig, GeoTopology, LinkMetrics, NodeInfo, Topology};
 use livenet_types::{Bandwidth, ClientId, Error, NodeId, SimDuration, SimTime, StreamId};
 use std::net::SocketAddr;
 use std::time::Duration;
-use tokio::net::UdpSocket;
 
 /// Most overlay nodes one loopback harness will spawn. Each node binds
 /// 1..=16 sockets and runs its own event loop on the single-threaded
@@ -707,6 +706,7 @@ struct ViewerPlan {
     brain: BrainHandle,
     consumer_id: NodeId,
     clock: WallClock,
+    telemetry: SharedTelemetry,
 }
 
 /// Run one full loopback overlay session and report what happened.
@@ -819,6 +819,7 @@ pub async fn run(cfg: TestbedConfig) -> livenet_types::Result<WireRunReport> {
             brain: brain.clone(),
             consumer_id: ids_v[spec.node],
             clock,
+            telemetry: telemetry.clone(),
         };
         viewer_joins.push(tokio::spawn(viewer_session(plan)));
         viewer_meta.push((client, spec.node));
@@ -960,14 +961,18 @@ async fn drain_pacer(
 }
 
 /// One viewer's whole session: wait out the staggered join, bind, fetch a
-/// brain path, attach, then read RTP off the socket, reassemble frames,
-/// and feed RTCP receiver reports and keepalives back to the consumer.
+/// brain path, attach, then read RTP off the socket in batches, reassemble
+/// frames, and feed RTCP receiver reports and keepalives back to the
+/// consumer. RX goes through the same [`BatchSocket`] path the node driver
+/// uses, so a burst of paced RTP costs one syscall, not one per datagram,
+/// and the fill shows up in the run's telemetry snapshot.
 async fn viewer_session(plan: ViewerPlan) -> ViewerReport {
     if !plan.attach_delay.is_zero() {
         tokio::time::sleep(plan.attach_delay).await;
     }
-    let sock = UdpSocket::bind(local()).await.expect("bind viewer socket");
-    let addr = sock.local_addr().expect("viewer addr");
+    let socks =
+        [BatchSocket::bind(local(), BatchBackend::auto()).expect("bind viewer socket")];
+    let addr = socks[0].local_addr();
     let path = if plan.node_idx == plan.producer_idx {
         None
     } else {
@@ -993,7 +998,10 @@ async fn viewer_session(plan: ViewerPlan) -> ViewerReport {
 
     let started = tokio::time::Instant::now();
     let mut depack = Depacketizer::new();
-    let mut buf = vec![0u8; 64 * 1024];
+    // Datagrams from the consumer are MTU-bounded RTP (plus small RTCP);
+    // 2 KiB slots leave generous headroom and the one-byte truncation
+    // sentinel still catches anything oversized.
+    let mut batch = RecvBatch::new(MAX_BATCH, 2048);
     let mut report = ViewerReport {
         client: plan.client,
         node: plan.node.id,
@@ -1021,12 +1029,28 @@ async fn viewer_session(plan: ViewerPlan) -> ViewerReport {
         if now_i >= plan.deadline {
             break;
         }
-        let slice = Duration::from_millis(50).min(plan.deadline - now_i);
-        if let Ok(Ok((len, _src))) = tokio::time::timeout(slice, sock.recv_from(&mut buf)).await {
-            let Ok(msg) = OverlayMsg::decode(Bytes::copy_from_slice(&buf[..len])) else {
-                continue;
-            };
-            if let OverlayMsg::Rtp { packet, .. } = msg {
+        // [`batch::recv_any`] is poll-driven (it registers no waker), so
+        // under `timeout` the socket is probed when the slice expires: a
+        // short slice bounds the added receive latency while a paced burst
+        // still drains in one batched syscall.
+        let slice = Duration::from_millis(5).min(plan.deadline - now_i);
+        if let Ok(Ok((_idx, _count))) =
+            tokio::time::timeout(slice, batch::recv_any(&socks, 0, &mut batch)).await
+        {
+            plan.telemetry.with(|h| {
+                h.incr(ids::TRANSPORT_BATCH_RX_SYSCALLS);
+                h.observe(ids::TRANSPORT_BATCH_RX_FILL, batch.len() as f64);
+            });
+            for d in batch.iter() {
+                if d.truncated {
+                    continue;
+                }
+                let Ok(msg) = OverlayMsg::decode(Bytes::copy_from_slice(d.data)) else {
+                    continue;
+                };
+                let OverlayMsg::Rtp { packet, .. } = msg else {
+                    continue;
+                };
                 let Ok(rtp) = RtpPacket::decode(packet) else {
                     continue;
                 };
@@ -1079,14 +1103,20 @@ async fn viewer_session(plan: ViewerPlan) -> ViewerReport {
                     stream: plan.stream,
                     packet: rr.encode(),
                 };
-                let _ = sock.send_to(&msg.encode(), node_addr).await;
+                let _ = socks[0].try_send_batch(&[SendDatagram {
+                    to: node_addr,
+                    payload: msg.encode(),
+                }]);
                 report.rr_sent += 1;
                 last_rr = tokio::time::Instant::now();
                 window_received = 0;
                 window_first_seq = None;
             }
         } else if last_keepalive.elapsed() >= plan.rr_interval / 2 {
-            let _ = sock.send_to(&OverlayMsg::Keepalive.encode(), node_addr).await;
+            let _ = socks[0].try_send_batch(&[SendDatagram {
+                to: node_addr,
+                payload: OverlayMsg::Keepalive.encode(),
+            }]);
             report.keepalives_sent += 1;
             last_keepalive = tokio::time::Instant::now();
         }

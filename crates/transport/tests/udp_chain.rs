@@ -136,9 +136,9 @@ async fn frames_flow_over_real_udp_chain() {
     for (i, j) in joins.into_iter().enumerate() {
         let core = j.await.expect("join");
         println!(
-            "node {i}: ingested={} forwarded={} dup={} nacks={} rtx={}",
+            "node {i}: ingested={} forwarded={} dup={} nack_seqs={} nack_msgs={} rtx={}",
             core.stats.ingested, core.stats.forwarded, core.stats.duplicates,
-            core.stats.nacks_sent, core.stats.rtx_served,
+            core.stats.nacks_sent, core.stats.nack_batches, core.stats.rtx_served,
         );
     }
     assert!(packets >= 20, "client received only {packets} RTP packets");

@@ -21,8 +21,10 @@ fn main() {
             qoe.frames_rendered, qoe.stalls
         );
         println!(
-            "  NACKs by B: {}   retransmissions served by A: {}",
-            report.node_stats[1].nacks_sent, report.node_stats[0].rtx_served
+            "  seqs NACKed by B: {} (in {} messages)   retransmissions served by A: {}",
+            report.node_stats[1].nacks_sent,
+            report.node_stats[1].nack_batches,
+            report.node_stats[0].rtx_served
         );
         if !report.recovery_latencies_ms.is_empty() {
             let mean = report.recovery_latencies_ms.iter().sum::<f64>()
